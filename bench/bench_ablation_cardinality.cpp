@@ -1,0 +1,113 @@
+// Ablation: cardinality encodings inside BSAT (and raw encoder size).
+//
+// The paper's instance constrains "the number of select-inputs with value 1"
+// (Fig. 3); the encoding of that constraint is a free design choice. This
+// bench compares pairwise / sequential counter / totalizer on (a) raw CNF
+// size over n select lines and (b) end-to-end BSAT time. Also shows the
+// O(|I|^k)-ish growth of COV's covering search (Table 1's COV column).
+//
+// Run:  ./bench_ablation_cardinality [--circuit s641_like] [--scale 0.5]
+#include <cstdio>
+
+#include "cnf/cardinality.hpp"
+#include "diag/cover.hpp"
+#include "report/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace satdiag;
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  std::string error;
+  args.parse(argc, argv, error);
+  const std::string circuit = args.get_string("circuit", "s641_like");
+  const double scale = args.get_double("scale", 0.5);
+  const double limit = args.get_double("limit", 60.0);
+
+  // ---- raw encoder size ------------------------------------------------------
+  TablePrinter size_table({"encoding", "n", "k", "aux vars", "clauses"});
+  for (CardEncoding enc : {CardEncoding::kPairwise, CardEncoding::kSequential,
+                           CardEncoding::kTotalizer}) {
+    for (unsigned n : {16u, 64u, 256u}) {
+      for (unsigned k : {1u, 3u}) {
+        if (enc == CardEncoding::kPairwise && n > 64) continue;  // explodes
+        sat::Solver solver;
+        std::vector<sat::Lit> lits;
+        for (unsigned i = 0; i < n; ++i) {
+          lits.push_back(sat::pos(solver.new_var()));
+        }
+        const int before_vars = solver.num_vars();
+        encode_at_most_static(solver, lits, k, enc);
+        size_table.add_row({card_encoding_name(enc), std::to_string(n),
+                            std::to_string(k),
+                            std::to_string(solver.num_vars() - before_vars),
+                            std::to_string(solver.num_clauses())});
+      }
+    }
+  }
+  std::printf("# raw at-most-k encoder size\n%s\n",
+              size_table.to_string().c_str());
+
+  // ---- end-to-end BSAT -------------------------------------------------------
+  TablePrinter bsat_table({"encoding", "k", "CNF s", "all s", "#sol"});
+  for (unsigned k : {1u, 2u}) {
+    ExperimentConfig config;
+    config.circuit = circuit;
+    config.scale = scale;
+    config.num_errors = k;
+    config.num_tests = 8;
+    config.seed = 5;
+    config.time_limit_seconds = limit;
+    const auto prepared = prepare_experiment(config);
+    if (!prepared) continue;
+    for (CardEncoding enc :
+         {CardEncoding::kSequential, CardEncoding::kTotalizer}) {
+      BsatOptions options;
+      options.k = k;
+      options.deadline = Deadline::after_seconds(limit);
+      options.instance.card_encoding = enc;
+      const BsatResult r =
+          basic_sat_diagnose(prepared->faulty, prepared->tests, options);
+      bsat_table.add_row({card_encoding_name(enc), std::to_string(k),
+                          strprintf("%.3f", r.build_seconds),
+                          strprintf("%.3f%s", r.all_seconds,
+                                    r.complete ? "" : "*"),
+                          std::to_string(r.solutions.size())});
+    }
+  }
+  std::printf("# BSAT end-to-end by encoding (on %s)\n%s\n", circuit.c_str(),
+              bsat_table.to_string().c_str());
+
+  // ---- COV search growth in k (Table 1: O(|I|^k)) ---------------------------
+  TablePrinter cov_table({"k", "#sol", "all s"});
+  {
+    ExperimentConfig config;
+    config.circuit = circuit;
+    config.scale = scale;
+    config.num_errors = 3;
+    config.num_tests = 8;
+    config.seed = 11;
+    config.time_limit_seconds = limit;
+    const auto prepared = prepare_experiment(config);
+    if (prepared) {
+      const BsimResult bsim =
+          basic_sim_diagnose(prepared->faulty, prepared->tests);
+      for (unsigned k = 1; k <= 4; ++k) {
+        CovOptions options;
+        options.k = k;
+        options.deadline = Deadline::after_seconds(limit);
+        options.max_solutions = 200000;
+        const CovResult r = solve_covering_sat(bsim.candidate_sets, options);
+        cov_table.add_row({std::to_string(k),
+                           std::to_string(r.solutions.size()),
+                           strprintf("%.3f%s", r.all_seconds,
+                                     r.complete ? "" : "*")});
+      }
+    }
+  }
+  std::printf("# COV solution-space growth in k\n%s", cov_table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Microbenchmarks of the two engines the paper contrasts: the circuit-based
+// simulation engine ("efficient, circuit-based") and the SAT solver's BCP.
+#include <benchmark/benchmark.h>
+
+#include "cnf/tseitin.hpp"
+#include "diag/path_trace.hpp"
+#include "gen/generator.hpp"
+#include "netlist/scan.hpp"
+#include "sat/solver.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace satdiag {
+namespace {
+
+Netlist bench_circuit(std::size_t gates, std::uint64_t seed = 31) {
+  GeneratorParams params;
+  params.num_inputs = 32;
+  params.num_outputs = 16;
+  params.num_dffs = gates / 12;
+  params.num_gates = gates;
+  params.seed = seed;
+  return make_full_scan(generate_circuit(params)).comb;
+}
+
+void BM_ParallelSimulation(benchmark::State& state) {
+  const Netlist nl = bench_circuit(static_cast<std::size_t>(state.range(0)));
+  ParallelSimulator sim(nl);
+  Rng rng(1);
+  for (GateId in : nl.inputs()) sim.set_source(in, rng.next_u64());
+  for (auto _ : state) {
+    sim.run();
+    benchmark::DoNotOptimize(sim.value(nl.outputs()[0]));
+  }
+  // 64 patterns per run.
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.counters["gate_evals/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(nl.num_combinational_gates()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelSimulation)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_PathTrace(benchmark::State& state) {
+  const Netlist nl = bench_circuit(static_cast<std::size_t>(state.range(0)));
+  ParallelSimulator sim(nl);
+  Rng rng(2);
+  for (GateId in : nl.inputs()) sim.set_source(in, rng.next_u64());
+  sim.run();
+  const GateId out = nl.outputs()[0];
+  for (auto _ : state) {
+    auto marked = path_trace(nl, sim.values(), 0, out);
+    benchmark::DoNotOptimize(marked.data());
+  }
+}
+BENCHMARK(BM_PathTrace)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_TseitinEncode(benchmark::State& state) {
+  const Netlist nl = bench_circuit(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    sat::Solver solver;
+    const CircuitEncoding enc = encode_circuit(solver, nl);
+    benchmark::DoNotOptimize(enc.gate_var.data());
+  }
+  state.counters["clauses"] = 0;  // filled below per-iteration cost dominates
+}
+BENCHMARK(BM_TseitinEncode)->Arg(1000)->Arg(5000);
+
+void BM_SolverBcpCircuitImplication(benchmark::State& state) {
+  // The BCP-as-simulation comparison from Sec. 4: fixing all inputs of an
+  // encoded circuit and propagating is the SAT analogue of one simulation.
+  const Netlist nl = bench_circuit(static_cast<std::size_t>(state.range(0)));
+  sat::Solver solver;
+  const CircuitEncoding enc =
+      encode_circuit(solver, nl, /*internal_decisions=*/false);
+  Rng rng(3);
+  std::vector<sat::Lit> assumptions;
+  for (GateId in : nl.inputs()) {
+    assumptions.push_back(enc.lit(in, rng.next_bool()));
+  }
+  for (auto _ : state) {
+    const sat::LBool result = solver.solve(assumptions);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["implications/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(nl.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SolverBcpCircuitImplication)->Arg(1000)->Arg(5000);
+
+void BM_SolverRandom3Sat(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(42);
+    sat::Solver solver;
+    for (int v = 0; v < n; ++v) solver.new_var();
+    const int m = static_cast<int>(4.1 * n);
+    for (int i = 0; i < m; ++i) {
+      sat::Clause c;
+      for (int j = 0; j < 3; ++j) {
+        c.push_back(sat::Lit(static_cast<sat::Var>(rng.next_below(
+                                 static_cast<std::uint64_t>(n))),
+                             rng.next_bool()));
+      }
+      solver.add_clause(std::move(c));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_SolverRandom3Sat)->Arg(60)->Arg(100)->Arg(140)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace satdiag

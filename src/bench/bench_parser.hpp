@@ -1,0 +1,38 @@
+// ISCAS89 .bench format reader.
+//
+// Grammar (comments start with '#'):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = TYPE(arg, arg, ...)
+//
+// Definitions may reference signals defined later in the file (ISCAS89 files
+// do this for feedback through DFFs and occasionally for combinational
+// forward references); the parser topologically orders definitions before
+// emitting them into the Netlist, so gate ids follow dependency order.
+#pragma once
+
+#include <istream>
+#include <stdexcept>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace satdiag {
+
+class BenchParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse .bench text. Throws BenchParseError with a line number on malformed
+/// input, undefined signals, duplicate definitions or combinational cycles.
+Netlist parse_bench(std::istream& in, std::string circuit_name = "circuit");
+
+/// Convenience overload for in-memory text.
+Netlist parse_bench_string(const std::string& text,
+                           std::string circuit_name = "circuit");
+
+/// Read and parse a .bench file from disk.
+Netlist parse_bench_file(const std::string& path);
+
+}  // namespace satdiag

@@ -1,0 +1,44 @@
+#include "bench/bench_writer.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace satdiag {
+namespace {
+std::string signal_name(const Netlist& nl, GateId g) {
+  const std::string& name = nl.gate_name(g);
+  if (!name.empty()) return name;
+  return strprintf("n%u", g);
+}
+}  // namespace
+
+void write_bench(std::ostream& out, const Netlist& nl) {
+  out << "# " << nl.name() << " (written by satdiag)\n";
+  for (GateId g : nl.inputs()) {
+    out << "INPUT(" << signal_name(nl, g) << ")\n";
+  }
+  for (GateId g : nl.outputs()) {
+    out << "OUTPUT(" << signal_name(nl, g) << ")\n";
+  }
+  for (GateId g = 0; g < nl.size(); ++g) {
+    const GateType type = nl.type(g);
+    if (type == GateType::kInput) continue;
+    out << signal_name(nl, g) << " = " << gate_type_name(type) << "(";
+    bool first = true;
+    for (GateId f : nl.fanins(g)) {
+      if (!first) out << ", ";
+      first = false;
+      out << signal_name(nl, f);
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& nl) {
+  std::ostringstream out;
+  write_bench(out, nl);
+  return out.str();
+}
+
+}  // namespace satdiag

@@ -1,0 +1,17 @@
+// ISCAS89 .bench format writer (round-trips with bench_parser).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace satdiag {
+
+/// Emit `nl` in .bench syntax: INPUT lines, OUTPUT lines, definitions in gate
+/// id order. Unnamed gates get synthetic "n<id>" names in the output.
+void write_bench(std::ostream& out, const Netlist& nl);
+
+std::string write_bench_string(const Netlist& nl);
+
+}  // namespace satdiag

@@ -1,0 +1,120 @@
+#include "bench/builtin_circuits.hpp"
+
+#include "bench/bench_parser.hpp"
+#include "util/strings.hpp"
+
+namespace satdiag {
+
+Netlist builtin_c17() {
+  static const char* kText = R"(
+# c17 (ISCAS85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+  return parse_bench_string(kText, "c17");
+}
+
+Netlist builtin_s27() {
+  static const char* kText = R"(
+# s27 (ISCAS89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+)";
+  return parse_bench_string(kText, "s27");
+}
+
+FigureScenario builtin_fig5a() {
+  // Reconvergent fanout: A drives both B and C, which reconverge at the
+  // output gate D. With i0=1, i1=0 the whole core evaluates to 0 while the
+  // specification demands D=1.
+  //
+  // Path tracing from D (AND, both fanins controlling) marks one of B/C,
+  // then A; the candidate set is {D,B,A} (or {D,C,A}). The cover {B} of
+  // that set is NOT a valid correction: forcing B=1 leaves D = AND(1,C=0)=0.
+  FigureScenario s;
+  Netlist nl("fig5a");
+  const GateId i0 = nl.add_input("i0");
+  const GateId i1 = nl.add_input("i1");
+  const GateId a = nl.add_gate(GateType::kAnd, "A", {i0, i1});
+  const GateId b = nl.add_gate(GateType::kBuf, "B", {a});
+  const GateId c = nl.add_gate(GateType::kBuf, "C", {a});
+  const GateId d = nl.add_gate(GateType::kAnd, "D", {b, c});
+  nl.add_output(d);
+  nl.finalize();
+  s.circuit = std::move(nl);
+  s.test_vector = {true, false};
+  s.output_index = 0;
+  s.correct_value = true;  // observed 0, specification says 1
+  return s;
+}
+
+FigureScenario builtin_fig5b() {
+  // Chain A -> C -> D -> E with side input B at D. Values: A=0, C=0, B=0,
+  // D=AND(C,B)=0, E=BUF(D)=0; specification demands E=1.
+  //
+  // Path tracing (kFirst policy, D's fanins ordered (C,B)) marks
+  // {E,D,C,A} — exactly the set quoted in Lemma 4 — and never marks B.
+  // {A} and {B} alone are invalid corrections (the other AND input still
+  // blocks), but {A,B} is valid: set covering can never return it because
+  // B is outside the marked universe and {A,B} is a redundant cover.
+  FigureScenario s;
+  Netlist nl("fig5b");
+  const GateId i0 = nl.add_input("i0");
+  const GateId i1 = nl.add_input("i1");
+  const GateId i2 = nl.add_input("i2");
+  const GateId i3 = nl.add_input("i3");
+  const GateId a = nl.add_gate(GateType::kAnd, "A", {i0, i1});
+  const GateId b = nl.add_gate(GateType::kAnd, "B", {i2, i3});
+  const GateId c = nl.add_gate(GateType::kBuf, "C", {a});
+  const GateId d = nl.add_gate(GateType::kAnd, "D", {c, b});
+  const GateId e = nl.add_gate(GateType::kBuf, "E", {d});
+  nl.add_output(e);
+  nl.finalize();
+  s.circuit = std::move(nl);
+  // i0=0 makes A=0; i3=0 makes B=0.
+  s.test_vector = {false, true, true, false};
+  s.output_index = 0;
+  s.correct_value = true;  // observed 0, specification says 1
+  return s;
+}
+
+std::vector<std::string> builtin_names() {
+  return {"c17", "s27", "fig5a", "fig5b"};
+}
+
+Netlist make_builtin(const std::string& name) {
+  if (name == "c17") return builtin_c17();
+  if (name == "s27") return builtin_s27();
+  if (name == "fig5a") return builtin_fig5a().circuit;
+  if (name == "fig5b") return builtin_fig5b().circuit;
+  throw NetlistError(strprintf("unknown builtin circuit '%s'", name.c_str()));
+}
+
+}  // namespace satdiag

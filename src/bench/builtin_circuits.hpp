@@ -1,0 +1,41 @@
+// Hand-written reference circuits.
+//
+//  * c17    — the classic 6-NAND ISCAS85 circuit (smoke tests, examples).
+//  * s27    — the canonical small ISCAS89 sequential circuit (3 DFFs).
+//  * fig5a  — the paper's Figure 5(a): a reconvergent circuit on which a set
+//             cover ({B}) is not a valid correction (Lemma 2).
+//  * fig5b  — the paper's Figure 5(b): a circuit with a valid correction
+//             {A,B} that set covering cannot produce (Lemma 4).
+//
+// For fig5a/fig5b the construction in this file fixes fanin order so that
+// path tracing with the kFirst policy reproduces exactly the candidate sets
+// quoted in the paper's proofs; the accompanying FigureTest describes the
+// intended erroneous test vector.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace satdiag {
+
+Netlist builtin_c17();
+Netlist builtin_s27();
+
+/// A single-test diagnosis scenario for the Figure 5 circuits.
+struct FigureScenario {
+  Netlist circuit;
+  std::vector<bool> test_vector;  // over circuit.inputs() in order
+  std::size_t output_index = 0;   // index into circuit.outputs()
+  bool correct_value = false;     // value the specification demands
+};
+
+FigureScenario builtin_fig5a();
+FigureScenario builtin_fig5b();
+
+/// Names accepted by make_builtin.
+std::vector<std::string> builtin_names();
+Netlist make_builtin(const std::string& name);
+
+}  // namespace satdiag

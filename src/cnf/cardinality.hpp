@@ -1,0 +1,56 @@
+// Cardinality ("at most k") constraint encodings.
+//
+// BSAT bounds the number of asserted multiplexer select lines (Fig. 2(b),
+// "< k s"). Three encodings are provided:
+//
+//  * pairwise     — naive, clause count C(n, k+1); only sensible for tiny
+//                   n or k (kept as the ablation baseline),
+//  * sequential   — Sinz's LTseq counter, O(n*k) clauses,
+//  * totalizer    — Bailleux-Boufkhad unary totalizer, O(n log n + n*k).
+//
+// The counter encodings expose "at least j" indicator literals, so a single
+// instance supports the incremental k = 1..K loop of BasicSATDiagnose via
+// assumptions (no re-encoding per k).
+#pragma once
+
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace satdiag {
+
+enum class CardEncoding {
+  kPairwise,
+  kSequential,
+  kTotalizer,
+};
+
+const char* card_encoding_name(CardEncoding e);
+
+/// Unary counter over a literal set.
+struct CardinalityTracker {
+  std::vector<sat::Lit> inputs;
+  /// geq[j-1] is implied true whenever at least j inputs are true
+  /// (one-directional; sufficient for enforcing upper bounds by assuming
+  /// the negation). Available for j = 1 .. max_bound+1.
+  std::vector<sat::Lit> geq;
+
+  /// Assumptions enforcing "at most `bound` inputs true".
+  /// bound must be <= max_bound used at construction.
+  std::vector<sat::Lit> assume_at_most(unsigned bound) const;
+};
+
+/// Build a counter usable for bounds 0..max_bound. Encoding must be
+/// kSequential or kTotalizer (pairwise has no incremental form).
+CardinalityTracker encode_cardinality_tracker(sat::Solver& solver,
+                                              std::vector<sat::Lit> lits,
+                                              unsigned max_bound,
+                                              CardEncoding encoding);
+
+/// Statically assert "at most `bound` of lits are true" with any encoding.
+/// Returns false if the solver became UNSAT.
+bool encode_at_most_static(sat::Solver& solver,
+                           const std::vector<sat::Lit>& lits, unsigned bound,
+                           CardEncoding encoding);
+
+}  // namespace satdiag

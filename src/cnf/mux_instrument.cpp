@@ -1,0 +1,143 @@
+#include "cnf/mux_instrument.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace satdiag {
+
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+std::vector<GateId> DiagnosisInstance::selected_gates_from_model() const {
+  std::vector<GateId> out;
+  for (std::size_t i = 0; i < select_var.size(); ++i) {
+    if (solver.model_value(select_var[i]) == sat::LBool::kTrue) {
+      out.push_back(instrumented[i]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+DiagnosisInstance build_diagnosis_instance(
+    const Netlist& nl, const TestSet& tests,
+    const DiagnosisInstanceOptions& options) {
+  assert(nl.finalized());
+  assert(!tests.empty());
+  DiagnosisInstance inst;
+  Solver& solver = inst.solver;
+
+  // Instrumented gate set.
+  if (options.instrumented.empty()) {
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (nl.is_combinational(g)) inst.instrumented.push_back(g);
+    }
+  } else {
+    inst.instrumented = options.instrumented;
+    std::sort(inst.instrumented.begin(), inst.instrumented.end());
+    inst.instrumented.erase(
+        std::unique(inst.instrumented.begin(), inst.instrumented.end()),
+        inst.instrumented.end());
+    for (GateId g : inst.instrumented) {
+      if (!nl.is_combinational(g)) {
+        throw NetlistError("only combinational gates can be instrumented");
+      }
+    }
+  }
+
+  // Shared select lines (free/decision variables).
+  inst.select_index.assign(nl.size(), DiagnosisInstance::kNoSelect);
+  for (std::size_t i = 0; i < inst.instrumented.size(); ++i) {
+    inst.select_var.push_back(solver.new_var(/*decidable=*/true));
+    inst.select_index[inst.instrumented[i]] =
+        static_cast<std::uint32_t>(i);
+  }
+
+  std::vector<Lit> ins;
+  for (std::size_t t = 0; t < tests.size(); ++t) {
+    const Test& test = tests[t];
+    assert(test.input_values.size() == nl.inputs().size());
+
+    CircuitEncoding enc;
+    enc.gate_var.resize(nl.size());
+    std::vector<Var>& corrections = inst.correction_var.emplace_back();
+    corrections.resize(inst.instrumented.size(), -1);
+
+    for (GateId g : nl.topo_order()) {
+      // Variable carrying the value seen by fanouts (post-mux).
+      enc.gate_var[g] = solver.new_var(options.internal_decisions);
+    }
+    for (GateId g : nl.topo_order()) {
+      const std::uint32_t sel = inst.select_index[g];
+      Lit function_out = enc.lit(g);
+      if (sel != DiagnosisInstance::kNoSelect) {
+        // Correction value c_g^t: a genuinely free variable.
+        const Var c = solver.new_var(/*decidable=*/true);
+        corrections[sel] = c;
+        const Lit s = sat::pos(inst.select_var[sel]);
+        const Lit out = enc.lit(g);
+        // s -> (out == c);  !s -> (out == original function value).
+        solver.add_clause(~s, ~out, sat::pos(c));
+        solver.add_clause(~s, out, sat::neg(c));
+        if (options.gating_clauses) {
+          solver.add_clause(s, sat::neg(c));  // c == 0 while s == 0
+        }
+        // The original function drives a fresh internal node.
+        const Var orig = solver.new_var(/*decidable=*/false);
+        solver.add_clause(s, ~out, sat::pos(orig));
+        solver.add_clause(s, out, sat::neg(orig));
+        function_out = sat::pos(orig);
+      }
+      switch (nl.type(g)) {
+        case GateType::kInput:
+        case GateType::kDff:
+          break;  // constrained below / free
+        case GateType::kConst0:
+          solver.add_clause(~function_out);
+          break;
+        case GateType::kConst1:
+          solver.add_clause(function_out);
+          break;
+        default: {
+          ins.clear();
+          for (GateId f : nl.fanins(g)) ins.push_back(enc.lit(f));
+          encode_gate_function(solver, nl.type(g), function_out, ins);
+          break;
+        }
+      }
+    }
+
+    // Constrain primary inputs to the test vector.
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      const GateId in = nl.inputs()[i];
+      solver.add_clause(enc.lit(in, /*negated=*/!test.input_values[i]));
+    }
+    // Constrain the erroneous output to its correct value.
+    const GateId out_gate = test_output_gate(nl, test);
+    solver.add_clause(enc.lit(out_gate, /*negated=*/!test.correct_value));
+
+    if (options.constrain_passing_outputs) {
+      assert(options.expected_outputs.size() == tests.size());
+      const auto& golden = options.expected_outputs[t];
+      assert(golden.size() == nl.outputs().size());
+      for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+        if (o == test.output_index) continue;
+        solver.add_clause(enc.lit(nl.outputs()[o], /*negated=*/!golden[o]));
+      }
+    }
+
+    inst.copies.push_back(std::move(enc));
+  }
+
+  // Cardinality over the select lines.
+  std::vector<Lit> select_lits;
+  select_lits.reserve(inst.select_var.size());
+  for (Var s : inst.select_var) select_lits.push_back(sat::pos(s));
+  inst.cardinality = encode_cardinality_tracker(
+      solver, std::move(select_lits), options.max_k, options.card_encoding);
+
+  return inst;
+}
+
+}  // namespace satdiag

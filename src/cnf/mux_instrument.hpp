@@ -1,0 +1,81 @@
+// Construction of the SAT-based diagnosis instance (Fig. 2 of the paper).
+//
+// One circuit copy per test; a correction multiplexer at every instrumented
+// gate g: select s_g shared by all copies, free correction value c_g^i per
+// copy. Copy i is constrained to test vector t_i at the primary inputs and to
+// the correct value v_i at the erroneous output o_i. A cardinality counter
+// over the select lines bounds the correction size; "at most k" is enforced
+// with assumptions so the k = 1..K loop of BasicSATDiagnose reuses one
+// instance incrementally.
+//
+// Options mirror the advanced technique of Smith et al. (ASP-DAC'04):
+//  * gating clauses force c_g^i = 0 while s_g = 0 ("prevents up to |I|
+//    decisions of the SAT solver"),
+//  * restricting the instrumented set (e.g. to dominators) shrinks the
+//    search space for a first coarse pass,
+//  * internal gate variables can be excluded from decisions — the free
+//    variables are then exactly the select lines and correction inputs, as
+//    in the paper's description of F.
+#pragma once
+
+#include <vector>
+
+#include "cnf/cardinality.hpp"
+#include "cnf/tseitin.hpp"
+#include "netlist/testset.hpp"
+
+namespace satdiag {
+
+struct DiagnosisInstanceOptions {
+  /// Gates carrying a correction multiplexer; empty = every combinational
+  /// gate (the basic BSAT configuration).
+  std::vector<GateId> instrumented;
+  /// Largest correction size the instance must support.
+  unsigned max_k = 1;
+  CardEncoding card_encoding = CardEncoding::kSequential;
+  /// Advanced heuristic: clause (s_g | ~c_g^i) per copy.
+  bool gating_clauses = true;
+  /// When false, internal gate variables are not decision variables.
+  bool internal_decisions = false;
+  /// Extension beyond the paper: also pin every non-erroneous output of each
+  /// test copy to its golden value (requires expected_outputs).
+  bool constrain_passing_outputs = false;
+  /// Golden output values per test (over netlist.outputs()), used only with
+  /// constrain_passing_outputs.
+  std::vector<std::vector<bool>> expected_outputs;
+};
+
+struct DiagnosisInstance {
+  sat::Solver solver;
+
+  /// Instrumented gates; index in this vector == select index.
+  std::vector<GateId> instrumented;
+  std::vector<sat::Var> select_var;           // per instrumented gate
+  std::vector<std::uint32_t> select_index;    // per GateId; kNoSelect if none
+  static constexpr std::uint32_t kNoSelect = 0xffffffffu;
+
+  /// Per test copy: variable of every gate (the *post-mux* value that feeds
+  /// fanouts), plus the free correction variables.
+  std::vector<CircuitEncoding> copies;
+  std::vector<std::vector<sat::Var>> correction_var;  // [test][select index]
+
+  CardinalityTracker cardinality;
+
+  /// Assumptions enforcing |correction| <= k.
+  std::vector<sat::Lit> assume_at_most(unsigned k) const {
+    return cardinality.assume_at_most(k);
+  }
+
+  /// Decode a model's asserted select lines into gate ids (sorted).
+  std::vector<GateId> selected_gates_from_model() const;
+
+  std::size_t num_tests() const { return copies.size(); }
+};
+
+/// Build the instance. `tests` must be non-empty; test input_values must
+/// cover nl.inputs().
+DiagnosisInstance build_diagnosis_instance(
+    const Netlist& nl, const TestSet& tests,
+    const DiagnosisInstanceOptions& options);
+
+}  // namespace satdiag

@@ -1,0 +1,127 @@
+#include "cnf/tseitin.hpp"
+
+#include <cassert>
+
+namespace satdiag {
+
+using sat::Clause;
+using sat::Lit;
+using sat::Solver;
+
+namespace {
+
+// out <-> AND(ins) when `invert_out` is false, NAND otherwise.
+void encode_and_like(Solver& solver, Lit out, std::span<const Lit> ins,
+                     bool invert_out) {
+  const Lit o = invert_out ? ~out : out;
+  Clause big;
+  big.reserve(ins.size() + 1);
+  for (Lit in : ins) {
+    solver.add_clause(~o, in);
+    big.push_back(~in);
+  }
+  big.push_back(o);
+  solver.add_clause(std::move(big));
+}
+
+// out <-> OR(ins) when `invert_out` is false, NOR otherwise.
+void encode_or_like(Solver& solver, Lit out, std::span<const Lit> ins,
+                    bool invert_out) {
+  const Lit o = invert_out ? ~out : out;
+  Clause big;
+  big.reserve(ins.size() + 1);
+  for (Lit in : ins) {
+    solver.add_clause(o, ~in);
+    big.push_back(in);
+  }
+  big.push_back(~o);
+  solver.add_clause(std::move(big));
+}
+
+// z <-> a XOR b.
+void encode_xor2(Solver& solver, Lit z, Lit a, Lit b) {
+  solver.add_clause(~z, a, b);
+  solver.add_clause(~z, ~a, ~b);
+  solver.add_clause(z, ~a, b);
+  solver.add_clause(z, a, ~b);
+}
+
+}  // namespace
+
+void encode_gate_function(Solver& solver, GateType type, Lit out,
+                          std::span<const Lit> ins) {
+  assert(is_combinational_type(type));
+  assert(arity_ok(type, ins.size()));
+  switch (type) {
+    case GateType::kBuf:
+      solver.add_clause(~out, ins[0]);
+      solver.add_clause(out, ~ins[0]);
+      return;
+    case GateType::kNot:
+      solver.add_clause(~out, ~ins[0]);
+      solver.add_clause(out, ins[0]);
+      return;
+    case GateType::kAnd:
+    case GateType::kNand:
+      encode_and_like(solver, out, ins, type == GateType::kNand);
+      return;
+    case GateType::kOr:
+    case GateType::kNor:
+      encode_or_like(solver, out, ins, type == GateType::kNor);
+      return;
+    case GateType::kXor:
+    case GateType::kXnor: {
+      // Chain pairwise with fresh intermediates.
+      Lit acc = ins[0];
+      for (std::size_t i = 1; i + 1 < ins.size(); ++i) {
+        const Lit next = sat::pos(solver.new_var(/*decidable=*/false));
+        encode_xor2(solver, next, acc, ins[i]);
+        acc = next;
+      }
+      const Lit target = type == GateType::kXor ? out : ~out;
+      if (ins.size() == 1) {
+        solver.add_clause(~target, acc);
+        solver.add_clause(target, ~acc);
+      } else {
+        encode_xor2(solver, target, acc, ins[ins.size() - 1]);
+      }
+      return;
+    }
+    default:
+      assert(false && "not a combinational type");
+  }
+}
+
+CircuitEncoding encode_circuit(Solver& solver, const Netlist& nl,
+                               bool internal_decisions) {
+  assert(nl.finalized());
+  CircuitEncoding enc;
+  enc.gate_var.resize(nl.size());
+  for (GateId g = 0; g < nl.size(); ++g) {
+    const bool decidable = internal_decisions || nl.is_source(g);
+    enc.gate_var[g] = solver.new_var(decidable);
+  }
+  std::vector<Lit> ins;
+  for (GateId g : nl.topo_order()) {
+    switch (nl.type(g)) {
+      case GateType::kInput:
+      case GateType::kDff:
+        break;  // free variable
+      case GateType::kConst0:
+        solver.add_clause(enc.lit(g, /*negated=*/true));
+        break;
+      case GateType::kConst1:
+        solver.add_clause(enc.lit(g));
+        break;
+      default: {
+        ins.clear();
+        for (GateId f : nl.fanins(g)) ins.push_back(enc.lit(f));
+        encode_gate_function(solver, nl.type(g), enc.lit(g), ins);
+        break;
+      }
+    }
+  }
+  return enc;
+}
+
+}  // namespace satdiag

@@ -1,0 +1,35 @@
+// Tseitin encoding of netlists into CNF.
+//
+// Used standalone (equivalence-miter ATPG, validity checks) and by the
+// diagnosis-instance builder, which re-encodes one circuit copy per test.
+#pragma once
+
+#include <span>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace satdiag {
+
+/// Add clauses asserting `out` equals the gate function over `ins`.
+/// `type` must be combinational; arity must match the type.
+void encode_gate_function(sat::Solver& solver, GateType type, sat::Lit out,
+                          std::span<const sat::Lit> ins);
+
+/// One solver variable per gate of one combinational circuit copy.
+struct CircuitEncoding {
+  std::vector<sat::Var> gate_var;  // indexed by GateId
+
+  sat::Lit lit(GateId g, bool negated = false) const {
+    return sat::Lit(gate_var[g], negated);
+  }
+};
+
+/// Encode every combinational gate of `nl`. Sources get free variables
+/// (constants are fixed with unit clauses). `decision_vars` controls whether
+/// internal gate variables may be picked as decisions (BSAT switches this
+/// off: all internal values are implied by inputs and corrections).
+CircuitEncoding encode_circuit(sat::Solver& solver, const Netlist& nl,
+                               bool internal_decisions = true);
+
+}  // namespace satdiag

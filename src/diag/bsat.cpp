@@ -1,0 +1,90 @@
+#include "diag/bsat.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace satdiag {
+
+BsatResult basic_sat_diagnose(const Netlist& nl, const TestSet& tests,
+                              const BsatOptions& options) {
+  assert(nl.dffs().empty() && "use the full-scan view for diagnosis");
+  assert(!tests.empty());
+  BsatResult result;
+
+  Timer build_timer;
+  DiagnosisInstanceOptions inst_options = options.instance;
+  inst_options.max_k = options.k;
+  DiagnosisInstance inst = build_diagnosis_instance(nl, tests, inst_options);
+  sat::Solver& solver = inst.solver;
+  result.build_seconds = build_timer.seconds();
+  result.num_vars = static_cast<std::size_t>(solver.num_vars());
+  result.num_clauses = solver.num_clauses();
+
+  if (!options.select_activity_seed.empty()) {
+    assert(options.select_activity_seed.size() == nl.size());
+    std::uint32_t max_marks = 1;
+    for (GateId g : inst.instrumented) {
+      max_marks = std::max(max_marks, options.select_activity_seed[g]);
+    }
+    for (std::size_t i = 0; i < inst.instrumented.size(); ++i) {
+      const std::uint32_t marks =
+          options.select_activity_seed[inst.instrumented[i]];
+      if (marks == 0) continue;
+      solver.boost_activity(inst.select_var[i],
+                            static_cast<double>(marks) /
+                                static_cast<double>(max_marks));
+      solver.set_polarity_hint(inst.select_var[i], true);
+    }
+  }
+
+  Timer solve_timer;
+  bool first_recorded = false;
+  for (unsigned bound = 1; bound <= options.k; ++bound) {
+    const auto assumptions = inst.assume_at_most(bound);
+    for (;;) {
+      if (options.deadline.expired() ||
+          (options.max_solutions >= 0 &&
+           static_cast<std::int64_t>(result.solutions.size()) >=
+               options.max_solutions)) {
+        result.complete = false;
+        result.all_seconds = solve_timer.seconds();
+        if (!first_recorded) result.first_seconds = result.all_seconds;
+        result.solver_stats = solver.stats();
+        return result;
+      }
+      solver.set_deadline(options.deadline);
+      const sat::LBool status = solver.solve(assumptions);
+      if (status == sat::LBool::kUndef) {
+        result.complete = false;
+        break;
+      }
+      if (status == sat::LBool::kFalse) break;  // bound exhausted
+      std::vector<GateId> correction = inst.selected_gates_from_model();
+      if (!first_recorded) {
+        result.first_seconds = solve_timer.seconds();
+        first_recorded = true;
+      }
+      // Block this correction and every superset of it.
+      sat::Clause blocking;
+      for (GateId g : correction) {
+        blocking.push_back(sat::neg(inst.select_var[inst.select_index[g]]));
+      }
+      result.solutions.push_back(std::move(correction));
+      if (blocking.empty() || !solver.add_clause(std::move(blocking))) {
+        // Empty correction satisfies every test (cannot happen with failing
+        // tests) or the instance became UNSAT: enumeration finished.
+        result.all_seconds = solve_timer.seconds();
+        if (!first_recorded) result.first_seconds = result.all_seconds;
+        result.solver_stats = solver.stats();
+        return result;
+      }
+    }
+    if (!result.complete) break;
+  }
+  result.all_seconds = solve_timer.seconds();
+  if (!first_recorded) result.first_seconds = result.all_seconds;
+  result.solver_stats = solver.stats();
+  return result;
+}
+
+}  // namespace satdiag

@@ -1,0 +1,50 @@
+// BSAT — basic SAT-based diagnosis (BasicSATDiagnose, Fig. 3).
+//
+// Builds the multiplexer-instrumented instance (one circuit copy per test),
+// then for i = 1..k enumerates all solutions under the cardinality
+// assumption "at most i selects", blocking each solution. Blocking smaller
+// corrections before increasing the limit guarantees that every returned
+// correction contains only essential candidates (Lemma 3); every returned
+// correction is valid by construction (Lemma 1).
+#pragma once
+
+#include "cnf/mux_instrument.hpp"
+#include "diag/path_trace.hpp"
+#include "netlist/testset.hpp"
+#include "sat/solver.hpp"
+#include "util/timer.hpp"
+
+namespace satdiag {
+
+struct BsatOptions {
+  unsigned k = 1;
+  /// Instance construction knobs (instrumented set, gating clauses,
+  /// cardinality encoding, ...). max_k inside is overridden with `k`.
+  DiagnosisInstanceOptions instance;
+  std::int64_t max_solutions = -1;  // unlimited when negative
+  Deadline deadline;
+  /// Hybrid hook (Sec. 6): per-gate weights (e.g. BSIM mark counts M(g));
+  /// select variables of heavily marked gates are boosted in the decision
+  /// heuristic and hinted to positive polarity. Empty = off.
+  std::vector<std::uint32_t> select_activity_seed;
+};
+
+struct BsatResult {
+  /// Essential valid corrections of size 1..k, in discovery order.
+  std::vector<std::vector<GateId>> solutions;
+  bool complete = true;
+
+  double build_seconds = 0.0;  // "CNF" column of Table 2
+  double first_seconds = 0.0;  // "One"
+  double all_seconds = 0.0;    // "All"
+
+  std::size_t num_vars = 0;
+  std::size_t num_clauses = 0;
+  sat::Solver::Stats solver_stats;
+};
+
+/// Run BasicSATDiagnose(nl, tests, k).
+BsatResult basic_sat_diagnose(const Netlist& nl, const TestSet& tests,
+                              const BsatOptions& options);
+
+}  // namespace satdiag

@@ -1,0 +1,43 @@
+#include "diag/bsim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/simulator.hpp"
+
+namespace satdiag {
+
+BsimResult basic_sim_diagnose(const Netlist& nl, const TestSet& tests,
+                              const PathTraceOptions& options, Rng* rng) {
+  assert(nl.dffs().empty() && "use the full-scan view for diagnosis");
+  BsimResult result;
+  result.mark_count.assign(nl.size(), 0);
+  result.candidate_sets.resize(tests.size());
+
+  ParallelSimulator sim(nl);
+  for (std::size_t base = 0; base < tests.size(); base += 64) {
+    const std::size_t batch = std::min<std::size_t>(64, tests.size() - base);
+    for (std::size_t b = 0; b < batch; ++b) {
+      sim.set_input_vector(b, tests[base + b].input_values);
+    }
+    sim.run();
+    for (std::size_t b = 0; b < batch; ++b) {
+      const Test& test = tests[base + b];
+      auto candidates = path_trace(nl, sim.values(), b,
+                                   test_output_gate(nl, test), options, rng);
+      for (GateId g : candidates) ++result.mark_count[g];
+      result.candidate_sets[base + b] = std::move(candidates);
+    }
+  }
+
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (result.mark_count[g] > 0) result.marked_union.push_back(g);
+    result.max_marks = std::max(result.max_marks, result.mark_count[g]);
+  }
+  for (GateId g : result.marked_union) {
+    if (result.mark_count[g] == result.max_marks) result.gmax.push_back(g);
+  }
+  return result;
+}
+
+}  // namespace satdiag

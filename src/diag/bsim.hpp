@@ -1,0 +1,33 @@
+// BSIM — basic simulation-based diagnosis (BasicSimDiagnose, Fig. 1).
+//
+// Simulates the implementation on every test (64 tests per parallel sweep)
+// and runs path tracing from each erroneous output. Produces the candidate
+// sets C_i, the per-gate mark counts M(g), their union, and the set Gmax of
+// gates marked by the maximal number of tests — everything Table 3's BSIM
+// columns report.
+#pragma once
+
+#include "diag/path_trace.hpp"
+#include "netlist/testset.hpp"
+
+namespace satdiag {
+
+struct BsimResult {
+  /// C_i per test, sorted gate ids, sources excluded.
+  std::vector<std::vector<GateId>> candidate_sets;
+  /// M(g): number of tests whose C_i contains g.
+  std::vector<std::uint32_t> mark_count;
+  /// Union of all C_i (sorted).
+  std::vector<GateId> marked_union;
+  /// Gates with maximal M(g) among marked gates (Gmax in Table 3).
+  std::vector<GateId> gmax;
+  std::uint32_t max_marks = 0;
+};
+
+/// Run BasicSimDiagnose on implementation `nl` (combinational view) with
+/// test-set `tests`. `rng` is only needed for MarkPolicy::kRandomControlling.
+BsimResult basic_sim_diagnose(const Netlist& nl, const TestSet& tests,
+                              const PathTraceOptions& options = {},
+                              Rng* rng = nullptr);
+
+}  // namespace satdiag

@@ -1,0 +1,61 @@
+#include "diag/effect.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/sim3.hpp"
+
+namespace satdiag {
+namespace {
+DiagnosisInstanceOptions effect_instance_options() {
+  DiagnosisInstanceOptions options;
+  options.max_k = 0;  // bounds are imposed via select assumptions instead
+  options.gating_clauses = true;
+  options.internal_decisions = false;
+  return options;
+}
+}  // namespace
+
+EffectAnalyzer::EffectAnalyzer(const Netlist& nl, const TestSet& tests)
+    : nl_(&nl),
+      tests_(&tests),
+      inst_(build_diagnosis_instance(nl, tests, effect_instance_options())) {}
+
+bool EffectAnalyzer::is_valid_correction(const std::vector<GateId>& candidate,
+                                         Deadline deadline) {
+  ++checks_;
+  std::vector<sat::Lit> assumptions;
+  assumptions.reserve(inst_.select_var.size());
+  std::vector<bool> on(nl_->size(), false);
+  for (GateId g : candidate) {
+    assert(g < nl_->size());
+    on[g] = true;
+  }
+  for (std::size_t i = 0; i < inst_.instrumented.size(); ++i) {
+    assumptions.push_back(
+        sat::Lit(inst_.select_var[i], /*negated=*/!on[inst_.instrumented[i]]));
+  }
+  inst_.solver.set_deadline(deadline);
+  return inst_.solver.solve(assumptions) == sat::LBool::kTrue;
+}
+
+bool EffectAnalyzer::x_check(const std::vector<GateId>& candidate) const {
+  ThreeValuedSimulator sim(*nl_);
+  const TestSet& tests = *tests_;
+  for (std::size_t base = 0; base < tests.size(); base += 64) {
+    const std::size_t batch = std::min<std::size_t>(64, tests.size() - base);
+    for (std::size_t b = 0; b < batch; ++b) {
+      sim.set_input_vector(b, tests[base + b].input_values);
+    }
+    sim.clear_overrides();
+    for (GateId g : candidate) sim.inject_x(g);
+    sim.run();
+    for (std::size_t b = 0; b < batch; ++b) {
+      const GateId out = test_output_gate(*nl_, tests[base + b]);
+      if (!sim.value(out).is_x(b)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace satdiag

@@ -1,0 +1,53 @@
+// Hybrid diagnosis — the future-work proposal of Section 6, implemented.
+//
+// "The fast engines of BSIM and COV can be used to direct the SAT-search by
+//  tuning the decision heuristics of the solver. A second possibility is to
+//  choose an initial correction (that may not be valid) and use SAT-based
+//  diagnosis to turn it into a valid correction."
+//
+// Mode kSeedActivity: run BSIM, boost the activity of the select variables
+// of heavily marked gates (and hint their polarity to 1); then run plain
+// BSAT. Same solution space, typically fewer decisions to the first
+// solution.
+//
+// Mode kRepairCover: run COV; take the covers (cheap, possibly invalid) and
+// restrict the BSAT instrumented set to the covered gates plus a structural
+// neighbourhood; enumerate valid corrections there. Much smaller instance;
+// sound (only valid corrections are returned) but complete only relative to
+// the neighbourhood.
+#pragma once
+
+#include "diag/bsat.hpp"
+#include "diag/cover.hpp"
+
+namespace satdiag {
+
+enum class HybridMode {
+  kSeedActivity,
+  kRepairCover,
+};
+
+struct HybridOptions {
+  HybridMode mode = HybridMode::kSeedActivity;
+  unsigned k = 1;
+  std::int64_t max_solutions = -1;
+  Deadline deadline;
+  /// kRepairCover: radius (in undirected structural steps) of the
+  /// neighbourhood added around covered gates.
+  std::size_t neighbourhood_radius = 2;
+  PathTraceOptions trace_options;
+};
+
+struct HybridResult {
+  std::vector<std::vector<GateId>> solutions;
+  bool complete = true;  // kRepairCover: relative to the neighbourhood
+  double sim_seconds = 0.0;
+  double sat_seconds = 0.0;
+  std::size_t instrumented = 0;
+  sat::Solver::Stats solver_stats;
+};
+
+HybridResult hybrid_diagnose(const Netlist& nl, const TestSet& tests,
+                             const HybridOptions& options, Rng* rng = nullptr);
+
+}  // namespace satdiag

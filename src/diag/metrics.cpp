@@ -1,0 +1,68 @@
+#include "diag/metrics.hpp"
+
+#include <algorithm>
+
+#include "netlist/analysis.hpp"
+#include "util/stats.hpp"
+
+namespace satdiag {
+
+std::vector<std::uint32_t> distances_to_errors(
+    const Netlist& nl, const std::vector<GateId>& error_sites) {
+  return undirected_distances(nl, error_sites);
+}
+
+BsimQuality evaluate_bsim_quality(const Netlist& nl, const BsimResult& bsim,
+                                  const std::vector<GateId>& error_sites) {
+  BsimQuality q;
+  const auto dist = distances_to_errors(nl, error_sites);
+  q.union_size = bsim.marked_union.size();
+
+  Summary all;
+  for (GateId g : bsim.marked_union) {
+    all.add(static_cast<double>(dist[g]));
+  }
+  q.avg_all = all.mean();
+
+  Summary gmax;
+  for (GateId g : bsim.gmax) {
+    gmax.add(static_cast<double>(dist[g]));
+  }
+  q.gmax_size = bsim.gmax.size();
+  if (!gmax.empty()) {
+    q.min_g = gmax.min();
+    q.max_g = gmax.max();
+    q.avg_g = gmax.mean();
+    q.error_in_gmax = gmax.min() == 0.0;
+  }
+  return q;
+}
+
+SolutionSetQuality evaluate_solution_quality(
+    const Netlist& nl, const std::vector<std::vector<GateId>>& solutions,
+    const std::vector<GateId>& error_sites) {
+  SolutionSetQuality q;
+  q.num_solutions = solutions.size();
+  if (solutions.empty()) return q;
+  const auto dist = distances_to_errors(nl, error_sites);
+
+  Summary per_solution;
+  std::size_t hits = 0;
+  for (const auto& solution : solutions) {
+    Summary inner;
+    bool hit = false;
+    for (GateId g : solution) {
+      inner.add(static_cast<double>(dist[g]));
+      hit = hit || dist[g] == 0;
+    }
+    if (!inner.empty()) per_solution.add(inner.mean());
+    if (hit) ++hits;
+  }
+  q.min_avg = per_solution.empty() ? 0.0 : per_solution.min();
+  q.max_avg = per_solution.empty() ? 0.0 : per_solution.max();
+  q.mean_avg = per_solution.mean();
+  q.hit_rate = static_cast<double>(hits) / static_cast<double>(solutions.size());
+  return q;
+}
+
+}  // namespace satdiag

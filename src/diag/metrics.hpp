@@ -1,0 +1,47 @@
+// Diagnosis quality metrics — the columns of Table 3.
+//
+// "For each of these gates the distance to the nearest error was determined,
+//  i.e. the number of gates on a shortest path to any error." Distances are
+// undirected structural BFS distances from the actual error sites.
+#pragma once
+
+#include <limits>
+
+#include "diag/bsim.hpp"
+
+namespace satdiag {
+
+struct BsimQuality {
+  std::size_t union_size = 0;  // |∪ C_i|
+  double avg_all = 0.0;        // avgA: mean distance over all marked gates
+  std::size_t gmax_size = 0;   // |Gmax|
+  double min_g = 0.0;          // min distance within Gmax
+  double max_g = 0.0;          // max distance within Gmax
+  double avg_g = 0.0;          // avgG
+  /// True when some actual error site is in Gmax (min_g == 0).
+  bool error_in_gmax = false;
+};
+
+struct SolutionSetQuality {
+  std::size_t num_solutions = 0;  // "#sol"
+  /// Per solution the average distance a of its gates; these are the
+  /// min / max / mean of a over all solutions ("min", "max", "avg").
+  double min_avg = 0.0;
+  double max_avg = 0.0;
+  double mean_avg = 0.0;
+  /// Fraction of solutions containing at least one actual error site.
+  double hit_rate = 0.0;
+};
+
+/// Distances from the nearest error site for every gate.
+std::vector<std::uint32_t> distances_to_errors(
+    const Netlist& nl, const std::vector<GateId>& error_sites);
+
+BsimQuality evaluate_bsim_quality(const Netlist& nl, const BsimResult& bsim,
+                                  const std::vector<GateId>& error_sites);
+
+SolutionSetQuality evaluate_solution_quality(
+    const Netlist& nl, const std::vector<std::vector<GateId>>& solutions,
+    const std::vector<GateId>& error_sites);
+
+}  // namespace satdiag

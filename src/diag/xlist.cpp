@@ -1,0 +1,147 @@
+#include "diag/xlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "diag/cover.hpp"
+#include "netlist/analysis.hpp"
+#include "sim/sim3.hpp"
+
+namespace satdiag {
+namespace {
+
+/// For every combinational gate, a bitmask (over tests, up to 64) telling
+/// which tests' erroneous outputs turn X when X is injected at that gate.
+std::vector<std::uint64_t> reach_masks(const Netlist& nl, const TestSet& tests,
+                                       const std::vector<GateId>& candidates,
+                                       const Deadline& deadline) {
+  assert(tests.size() <= 64);
+  std::vector<std::uint64_t> mask(nl.size(), 0);
+  ThreeValuedSimulator sim(nl);
+  for (std::size_t b = 0; b < tests.size(); ++b) {
+    sim.set_input_vector(b, tests[b].input_values);
+  }
+  for (GateId g : candidates) {
+    if (deadline.expired()) break;
+    sim.clear_overrides();
+    sim.inject_x(g);
+    sim.run();
+    std::uint64_t m = 0;
+    for (std::size_t b = 0; b < tests.size(); ++b) {
+      if (sim.value(test_output_gate(nl, tests[b])).is_x(b)) {
+        m |= 1ULL << b;
+      }
+    }
+    mask[g] = m;
+  }
+  return mask;
+}
+
+std::vector<GateId> candidate_pool(const Netlist& nl, const TestSet& tests,
+                                   const XListOptions& options) {
+  std::vector<GateId> pool;
+  if (options.restrict_to_fanin_cones) {
+    std::vector<GateId> outs;
+    for (const Test& t : tests) outs.push_back(test_output_gate(nl, t));
+    const std::vector<bool> cone = fanin_cone(nl, outs);
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (cone[g] && nl.is_combinational(g)) pool.push_back(g);
+    }
+  } else {
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (nl.is_combinational(g)) pool.push_back(g);
+    }
+  }
+  return pool;
+}
+
+bool joint_x_covers_all(const Netlist& nl, const TestSet& tests,
+                        const std::vector<GateId>& tuple) {
+  ThreeValuedSimulator sim(nl);
+  for (std::size_t b = 0; b < tests.size(); ++b) {
+    sim.set_input_vector(b, tests[b].input_values);
+  }
+  for (GateId g : tuple) sim.inject_x(g);
+  sim.run();
+  for (std::size_t b = 0; b < tests.size(); ++b) {
+    if (!sim.value(test_output_gate(nl, tests[b])).is_x(b)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<GateId> xlist_single_candidates(const Netlist& nl,
+                                            const TestSet& tests,
+                                            const XListOptions& options) {
+  assert(nl.dffs().empty() && "use the full-scan view for diagnosis");
+  std::vector<GateId> result;
+  if (tests.empty()) return result;
+  const std::vector<GateId> pool = candidate_pool(nl, tests, options);
+
+  // Process tests in batches of 64 pattern slots; a candidate survives only
+  // if it covers every batch completely.
+  std::vector<bool> alive(nl.size(), false);
+  for (GateId g : pool) alive[g] = true;
+  for (std::size_t base = 0; base < tests.size(); base += 64) {
+    const std::size_t batch_size = std::min<std::size_t>(64, tests.size() - base);
+    const TestSet batch(tests.begin() + static_cast<std::ptrdiff_t>(base),
+                        tests.begin() +
+                            static_cast<std::ptrdiff_t>(base + batch_size));
+    std::vector<GateId> still;
+    for (GateId g : pool) {
+      if (alive[g]) still.push_back(g);
+    }
+    const std::uint64_t full = batch_size == 64
+                                   ? ~0ULL
+                                   : ((1ULL << batch_size) - 1);
+    const auto masks = reach_masks(nl, batch, still, options.deadline);
+    for (GateId g : still) {
+      if (masks[g] != full) alive[g] = false;
+    }
+    if (options.deadline.expired()) break;
+  }
+  for (GateId g : pool) {
+    if (alive[g]) result.push_back(g);
+  }
+  return result;
+}
+
+std::vector<std::vector<GateId>> xlist_tuple_candidates(
+    const Netlist& nl, const TestSet& tests, unsigned k,
+    std::size_t max_tuples, const XListOptions& options) {
+  assert(nl.dffs().empty() && "use the full-scan view for diagnosis");
+  std::vector<std::vector<GateId>> result;
+  if (tests.empty()) return result;
+
+  // Per-test X-lists (first 64 tests bound the covering stage; additional
+  // tests are still enforced by the joint verification below).
+  const std::size_t bound = std::min<std::size_t>(64, tests.size());
+  const TestSet head(tests.begin(),
+                     tests.begin() + static_cast<std::ptrdiff_t>(bound));
+  const std::vector<GateId> pool = candidate_pool(nl, tests, options);
+  const auto masks = reach_masks(nl, head, pool, options.deadline);
+
+  std::vector<std::vector<GateId>> per_test(bound);
+  for (GateId g : pool) {
+    for (std::size_t b = 0; b < bound; ++b) {
+      if ((masks[g] >> b) & 1ULL) per_test[b].push_back(g);
+    }
+  }
+  for (const auto& list : per_test) {
+    if (list.empty()) return result;  // some test unexplainable: no tuples
+  }
+
+  CovOptions cov;
+  cov.k = k;
+  cov.deadline = options.deadline;
+  cov.max_solutions = static_cast<std::int64_t>(max_tuples) * 4;
+  const CovResult covers = solve_covering_sat(per_test, cov);
+  for (const auto& tuple : covers.solutions) {
+    if (result.size() >= max_tuples || options.deadline.expired()) break;
+    if (joint_x_covers_all(nl, tests, tuple)) result.push_back(tuple);
+  }
+  return result;
+}
+
+}  // namespace satdiag

@@ -1,0 +1,37 @@
+// X-list diagnosis (Boppana et al., DAC'99) — the simulation-based approach
+// the paper cites as the PT alternative: instead of backtracing sensitized
+// paths, inject X at a candidate location and forward-propagate; a location
+// is kept when the X reaches the erroneous output of every test ("the effect
+// of changing a value at a certain position is considered").
+//
+// Implemented for single locations (one 3-valued sweep per candidate gate,
+// all tests in parallel pattern slots) and, for multiple errors, greedily:
+// the size-k candidate tuples are assembled from single-location lists using
+// the same forward-X criterion on the joint injection.
+#pragma once
+
+#include "netlist/testset.hpp"
+#include "util/timer.hpp"
+
+namespace satdiag {
+
+struct XListOptions {
+  /// Restrict candidates to the union of the erroneous outputs' fanin cones
+  /// (an X injected elsewhere can never reach them).
+  bool restrict_to_fanin_cones = true;
+  Deadline deadline;
+};
+
+/// Gates g such that injecting X at g makes every test's erroneous output X.
+std::vector<GateId> xlist_single_candidates(const Netlist& nl,
+                                            const TestSet& tests,
+                                            const XListOptions& options = {});
+
+/// Greedy multi-error extension: find up to `max_tuples` size-k tuples whose
+/// joint X injection covers every test's erroneous output, seeded from the
+/// per-test single-location lists.
+std::vector<std::vector<GateId>> xlist_tuple_candidates(
+    const Netlist& nl, const TestSet& tests, unsigned k,
+    std::size_t max_tuples, const XListOptions& options = {});
+
+}  // namespace satdiag

@@ -1,0 +1,50 @@
+#include "fault/error_model.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace satdiag {
+
+GateId error_site(const DesignError& error) {
+  return std::visit([](const auto& e) { return e.gate; }, error);
+}
+
+std::string describe_error(const DesignError& error) {
+  if (const auto* gc = std::get_if<GateChangeError>(&error)) {
+    return strprintf("gate %u: %s -> %s", gc->gate,
+                     std::string(gate_type_name(gc->original)).c_str(),
+                     std::string(gate_type_name(gc->replacement)).c_str());
+  }
+  const auto& sa = std::get<StuckAtError>(error);
+  return strprintf("gate %u: stuck-at-%d", sa.gate, sa.value ? 1 : 0);
+}
+
+std::vector<GateId> error_sites(const ErrorList& errors) {
+  std::vector<GateId> sites;
+  sites.reserve(errors.size());
+  for (const DesignError& e : errors) sites.push_back(error_site(e));
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  return sites;
+}
+
+Netlist apply_errors(const Netlist& golden, const ErrorList& errors) {
+  Netlist faulty = golden.clone();
+  for (const DesignError& error : errors) {
+    if (const auto* gc = std::get_if<GateChangeError>(&error)) {
+      faulty.substitute_type(gc->gate, gc->replacement);
+    } else {
+      // A stuck-at fault is a physical defect, not a netlist edit: the
+      // implementation being diagnosed keeps the golden structure while the
+      // defective behaviour is modelled with simulator value overrides
+      // (see configure_faulty_simulator in fault/injector.hpp).
+      throw NetlistError(
+          "apply_errors: stuck-at errors are applied via simulator overrides,"
+          " not structural substitution");
+    }
+  }
+  return faulty;
+}
+
+}  // namespace satdiag

@@ -1,0 +1,46 @@
+// Design-error models.
+//
+// The paper injects "gate change errors": "An error is considered to be the
+// replacement of the function of a gate by another arbitrary Boolean
+// function." GateChangeError substitutes a different gate type at unchanged
+// fan-in; StuckAtError (the production-test flavour of the same diagnosis
+// problem) pins a gate's output to a constant.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace satdiag {
+
+struct GateChangeError {
+  GateId gate = kNoGate;
+  GateType original = GateType::kBuf;
+  GateType replacement = GateType::kBuf;
+};
+
+struct StuckAtError {
+  GateId gate = kNoGate;
+  bool value = false;
+};
+
+using DesignError = std::variant<GateChangeError, StuckAtError>;
+
+/// The gate an error is located at.
+GateId error_site(const DesignError& error);
+
+/// Human-readable description ("g42: AND -> NOR", "g7: stuck-at-1").
+std::string describe_error(const DesignError& error);
+
+/// A set of simultaneous errors ("p actual error sites e1..ep").
+using ErrorList = std::vector<DesignError>;
+
+std::vector<GateId> error_sites(const ErrorList& errors);
+
+/// Apply errors to a copy of `golden` (which stays untouched). The faulty
+/// netlist has identical structure and gate ids.
+Netlist apply_errors(const Netlist& golden, const ErrorList& errors);
+
+}  // namespace satdiag

@@ -1,0 +1,109 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "sim/simulator.hpp"
+#include "util/logging.hpp"
+
+namespace satdiag {
+
+void configure_faulty_simulator(ParallelSimulator& sim,
+                                const ErrorList& errors) {
+  for (const DesignError& error : errors) {
+    if (const auto* gc = std::get_if<GateChangeError>(&error)) {
+      sim.set_type_override(gc->gate, gc->replacement);
+    } else {
+      const auto& sa = std::get<StuckAtError>(error);
+      sim.set_value_override(sa.gate, sa.value ? ~0ULL : 0ULL);
+    }
+  }
+}
+
+namespace {
+
+/// True when golden and faulty behaviour differ on at least one of
+/// `patterns` random input vectors at an observed point.
+bool detectable_by_random_sim(const Netlist& nl, const ErrorList& errors,
+                              Rng& rng, std::size_t patterns) {
+  ParallelSimulator golden(nl);
+  ParallelSimulator faulty(nl);
+  configure_faulty_simulator(faulty, errors);
+  const std::size_t words = (patterns + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) {
+    for (GateId in : nl.inputs()) {
+      const std::uint64_t word = rng.next_u64();
+      golden.set_source(in, word);
+      faulty.set_source(in, word);
+    }
+    // DFF outputs are free state in the sequential view; randomize them the
+    // same way (full-scan assumption).
+    for (GateId ff : nl.dffs()) {
+      const std::uint64_t word = rng.next_u64();
+      golden.set_source(ff, word);
+      faulty.set_source(ff, word);
+    }
+    golden.run();
+    faulty.run();
+    for (GateId out : nl.outputs()) {
+      if (golden.value(out) != faulty.value(out)) return true;
+    }
+    for (GateId ff : nl.dffs()) {
+      const GateId data = nl.fanins(ff)[0];
+      if (golden.value(data) != faulty.value(data)) return true;
+    }
+  }
+  return false;
+}
+
+DesignError random_error_at(const Netlist& nl, GateId gate, Rng& rng,
+                            bool stuck_at) {
+  if (stuck_at) {
+    return StuckAtError{gate, rng.next_bool()};
+  }
+  const GateType original = nl.type(gate);
+  std::vector<GateType> pool = substitutable_types(nl.fanins(gate).size());
+  pool.erase(std::remove(pool.begin(), pool.end(), original), pool.end());
+  // XOR->XNOR style swaps are always functionally different; at arity 1 the
+  // pool is just {BUF, NOT} minus the original, which is fine too.
+  return GateChangeError{gate, original, rng.pick(pool)};
+}
+
+}  // namespace
+
+std::optional<ErrorList> inject_errors(const Netlist& golden, Rng& rng,
+                                       const InjectorOptions& options) {
+  std::vector<GateId> candidates;
+  for (GateId g = 0; g < golden.size(); ++g) {
+    if (golden.is_combinational(g) &&
+        substitutable_types(golden.fanins(g).size()).size() > 1) {
+      candidates.push_back(g);
+    }
+  }
+  if (candidates.size() < options.num_errors) return std::nullopt;
+
+  for (std::size_t attempt = 0; attempt < options.max_attempts; ++attempt) {
+    // Distinct random sites.
+    std::vector<GateId> sites;
+    while (sites.size() < options.num_errors) {
+      const GateId g = rng.pick(candidates);
+      if (std::find(sites.begin(), sites.end(), g) == sites.end()) {
+        sites.push_back(g);
+      }
+    }
+    ErrorList errors;
+    for (GateId g : sites) {
+      errors.push_back(random_error_at(golden, g, rng,
+                                       rng.next_bool(options.stuck_at_fraction)));
+    }
+    if (options.detectability_patterns == 0 ||
+        detectable_by_random_sim(golden, errors, rng,
+                                 options.detectability_patterns)) {
+      return errors;
+    }
+    SATDIAG_DEBUG() << "injection attempt " << attempt
+                    << " undetectable; retrying";
+  }
+  return std::nullopt;
+}
+
+}  // namespace satdiag

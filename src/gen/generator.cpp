@@ -1,0 +1,149 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace satdiag {
+namespace {
+
+GateType pick_type(Rng& rng, std::size_t arity, double xor_fraction) {
+  if (arity == 1) {
+    return rng.next_bool(0.7) ? GateType::kNot : GateType::kBuf;
+  }
+  if (rng.next_bool(xor_fraction)) {
+    return rng.next_bool() ? GateType::kXor : GateType::kXnor;
+  }
+  switch (rng.next_below(4)) {
+    case 0:
+      return GateType::kAnd;
+    case 1:
+      return GateType::kNand;
+    case 2:
+      return GateType::kOr;
+    default:
+      return GateType::kNor;
+  }
+}
+
+std::size_t pick_arity(Rng& rng, std::size_t max_arity) {
+  // Roughly the ISCAS89 fan-in mix: mostly 2, some 3, few 1 and 4+.
+  const double r = rng.next_double();
+  std::size_t arity;
+  if (r < 0.08) {
+    arity = 1;
+  } else if (r < 0.70) {
+    arity = 2;
+  } else if (r < 0.92) {
+    arity = 3;
+  } else {
+    arity = 4;
+  }
+  return std::min(arity, std::max<std::size_t>(1, max_arity));
+}
+
+}  // namespace
+
+Netlist generate_circuit(const GeneratorParams& params) {
+  if (params.num_inputs == 0) {
+    throw NetlistError("generator: need at least one input");
+  }
+  if (params.num_outputs == 0) {
+    throw NetlistError("generator: need at least one output");
+  }
+  Rng rng(params.seed);
+  Netlist nl(params.name);
+
+  std::vector<GateId> signals;  // every signal usable as a fanin
+  for (std::size_t i = 0; i < params.num_inputs; ++i) {
+    signals.push_back(nl.add_input(strprintf("pi%zu", i)));
+  }
+  std::vector<GateId> dffs;
+  for (std::size_t i = 0; i < params.num_dffs; ++i) {
+    const GateId d = nl.add_dff(strprintf("ff%zu", i));
+    dffs.push_back(d);
+    signals.push_back(d);
+  }
+
+  std::vector<std::uint32_t> fanout_count(signals.size() + params.num_gates, 0);
+
+  auto pick_fanin = [&](std::vector<GateId>& chosen) {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      GateId cand;
+      if (rng.next_bool(params.locality) && !signals.empty()) {
+        // Recent window: biases toward deep chains and local reconvergence.
+        const std::size_t window = std::min(params.window, signals.size());
+        cand = signals[signals.size() - 1 - rng.next_below(window)];
+      } else {
+        cand = rng.pick(signals);
+      }
+      if (std::find(chosen.begin(), chosen.end(), cand) == chosen.end()) {
+        return cand;
+      }
+    }
+    return rng.pick(signals);  // tiny circuits: allow a duplicate fanin
+  };
+
+  std::vector<GateId> comb_gates;
+  comb_gates.reserve(params.num_gates);
+  for (std::size_t i = 0; i < params.num_gates; ++i) {
+    const std::size_t arity = pick_arity(rng, params.max_arity);
+    std::vector<GateId> fanins;
+    fanins.reserve(arity);
+    for (std::size_t j = 0; j < arity; ++j) {
+      fanins.push_back(pick_fanin(fanins));
+    }
+    const GateType type = pick_type(rng, fanins.size(), params.xor_fraction);
+    const GateId g = nl.add_gate(type, strprintf("g%zu", i), fanins);
+    for (GateId f : fanins) ++fanout_count[f];
+    comb_gates.push_back(g);
+    signals.push_back(g);
+  }
+
+  // DFF data inputs: prefer currently dangling gates so everything feeds
+  // state or an output; fall back to random combinational gates.
+  std::vector<GateId> dangling;
+  for (GateId g : comb_gates) {
+    if (fanout_count[g] == 0) dangling.push_back(g);
+  }
+  rng.shuffle(dangling);
+  for (GateId d : dffs) {
+    GateId data;
+    if (!dangling.empty()) {
+      data = dangling.back();
+      dangling.pop_back();
+    } else if (!comb_gates.empty()) {
+      data = rng.pick(comb_gates);
+    } else {
+      data = rng.pick(signals);
+    }
+    nl.set_dff_input(d, data);
+    ++fanout_count[data];
+  }
+
+  // Primary outputs: consume the remaining dangling gates first.
+  std::vector<GateId> outputs;
+  while (outputs.size() < params.num_outputs && !dangling.empty()) {
+    outputs.push_back(dangling.back());
+    dangling.pop_back();
+  }
+  while (outputs.size() < params.num_outputs) {
+    const GateId g =
+        comb_gates.empty() ? rng.pick(signals) : rng.pick(comb_gates);
+    if (std::find(outputs.begin(), outputs.end(), g) == outputs.end()) {
+      outputs.push_back(g);
+    } else if (comb_gates.size() <= params.num_outputs) {
+      outputs.push_back(g);  // tiny circuit: duplicates unavoidable
+    }
+  }
+  // Any gates still dangling (more dangling than outputs+dffs) are attached
+  // as extra primary outputs so the whole circuit is observable.
+  for (GateId g : dangling) outputs.push_back(g);
+  for (GateId g : outputs) nl.add_output(g);
+
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace satdiag

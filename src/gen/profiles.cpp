@@ -1,0 +1,54 @@
+#include "gen/profiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace satdiag {
+
+const std::vector<CircuitProfile>& circuit_profiles() {
+  // name, PI, PO, DFF, combinational gates — published ISCAS89 statistics.
+  static const std::vector<CircuitProfile> kProfiles = {
+      {"s298_like", 3, 6, 14, 119},       {"s344_like", 9, 11, 15, 160},
+      {"s382_like", 3, 6, 21, 158},       {"s420_like", 18, 1, 16, 218},
+      {"s510_like", 19, 7, 6, 211},       {"s526_like", 3, 6, 21, 193},
+      {"s641_like", 35, 24, 19, 379},     {"s713_like", 35, 23, 19, 393},
+      {"s820_like", 18, 19, 5, 289},      {"s953_like", 16, 23, 29, 395},
+      {"s1196_like", 14, 14, 18, 529},    {"s1423_like", 17, 5, 74, 657},
+      {"s1488_like", 8, 19, 6, 653},      {"s5378_like", 35, 49, 179, 2779},
+      {"s6669_like", 83, 55, 239, 3080},  {"s9234_like", 36, 39, 211, 5597},
+      {"s13207_like", 62, 152, 638, 7951},
+      {"s15850_like", 77, 150, 534, 9772},
+      {"s38417_like", 28, 106, 1636, 22179},
+      {"s38584_like", 38, 304, 1426, 19253},
+  };
+  return kProfiles;
+}
+
+std::optional<CircuitProfile> find_profile(const std::string& name) {
+  for (const CircuitProfile& p : circuit_profiles()) {
+    if (p.name == name) return p;
+  }
+  return std::nullopt;
+}
+
+Netlist make_profile_circuit(const CircuitProfile& profile, double scale,
+                             std::uint64_t seed) {
+  GeneratorParams params;
+  params.name = profile.name;
+  params.num_inputs = profile.inputs;
+  params.num_outputs = profile.outputs;
+  const double s = std::clamp(scale, 1e-3, 1.0);
+  params.num_dffs = static_cast<std::size_t>(std::llround(
+      static_cast<double>(profile.dffs) * s));
+  params.num_gates = std::max<std::size_t>(
+      8, static_cast<std::size_t>(std::llround(
+             static_cast<double>(profile.gates) * s)));
+  // Mix the profile identity into the stream so s1423_like and s1488_like
+  // differ even with the same user seed.
+  std::uint64_t h = seed;
+  for (char c : profile.name) h = h * 1099511628211ULL + static_cast<unsigned char>(c);
+  params.seed = h;
+  return generate_circuit(params);
+}
+
+}  // namespace satdiag

@@ -1,0 +1,36 @@
+// Named generator profiles matched to the ISCAS89 circuits the paper uses.
+//
+// Gate/DFF/PI/PO counts follow the published benchmark statistics; the "_like"
+// suffix marks them as synthetic stand-ins (see DESIGN.md substitutions).
+// `scale` shrinks gate and DFF counts proportionally for quick runs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gen/generator.hpp"
+
+namespace satdiag {
+
+struct CircuitProfile {
+  std::string name;  // e.g. "s1423_like"
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t dffs = 0;
+  std::size_t gates = 0;
+};
+
+/// All built-in profiles, smallest first. Includes the three circuits of
+/// Tables 2/3 (s1423, s6669, s38417) and a spread of further ISCAS89 sizes
+/// for the Figure 6 scatter.
+const std::vector<CircuitProfile>& circuit_profiles();
+
+std::optional<CircuitProfile> find_profile(const std::string& name);
+
+/// Instantiate a profile. `scale` in (0,1] shrinks gates/DFFs; the seed keeps
+/// distinct profiles distinct.
+Netlist make_profile_circuit(const CircuitProfile& profile, double scale = 1.0,
+                             std::uint64_t seed = 1);
+
+}  // namespace satdiag

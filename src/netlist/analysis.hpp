@@ -1,0 +1,45 @@
+// Structural analyses on finalized netlists: cones, dominators, distances.
+//
+// These back three parts of the reproduction:
+//  * fanin/fanout cones — path tracing sanity checks and test pruning,
+//  * single-gate dominators — the advanced SAT-based diagnosis heuristic
+//    (Smith et al.) instruments only dominator gates in the first pass,
+//  * undirected shortest-path distance — the quality metric of Table 3
+//    ("number of gates on a shortest path to any error").
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace satdiag {
+
+/// Transitive fanin of `roots` (including the roots), as a dense flag vector.
+std::vector<bool> fanin_cone(const Netlist& nl, const std::vector<GateId>& roots);
+
+/// Transitive combinational fanout of `roots` (including the roots).
+std::vector<bool> fanout_cone(const Netlist& nl, const std::vector<GateId>& roots);
+
+/// Immediate dominators toward the observation points.
+///
+/// Gate d dominates gate g when every combinational path from g to any
+/// observed point (primary output or DFF data input) passes through d. The
+/// result maps each gate to its immediate dominator, or kNoGate for gates
+/// whose only dominator is the virtual sink (e.g. gates feeding two outputs
+/// on disjoint paths) and for unobservable gates.
+std::vector<GateId> immediate_dominators(const Netlist& nl);
+
+/// The chain of dominators of g (excluding g itself), nearest first.
+std::vector<GateId> dominator_chain(const Netlist& nl,
+                                    const std::vector<GateId>& idom, GateId g);
+
+/// BFS distance from the nearest gate in `sources`, ignoring edge direction
+/// (fanin and fanout edges both count, as in the paper's distance metric).
+/// Unreachable gates get UINT32_MAX.
+std::vector<std::uint32_t> undirected_distances(const Netlist& nl,
+                                                const std::vector<GateId>& sources);
+
+/// Observation points: primary outputs plus DFF data inputs (full-scan view).
+std::vector<GateId> observation_points(const Netlist& nl);
+
+}  // namespace satdiag

@@ -1,0 +1,160 @@
+#include "netlist/gate_type.hpp"
+
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace satdiag {
+
+std::string_view gate_type_name(GateType type) {
+  switch (type) {
+    case GateType::kInput:
+      return "INPUT";
+    case GateType::kDff:
+      return "DFF";
+    case GateType::kConst0:
+      return "CONST0";
+    case GateType::kConst1:
+      return "CONST1";
+    case GateType::kBuf:
+      return "BUF";
+    case GateType::kNot:
+      return "NOT";
+    case GateType::kAnd:
+      return "AND";
+    case GateType::kNand:
+      return "NAND";
+    case GateType::kOr:
+      return "OR";
+    case GateType::kNor:
+      return "NOR";
+    case GateType::kXor:
+      return "XOR";
+    case GateType::kXnor:
+      return "XNOR";
+  }
+  return "?";
+}
+
+std::optional<GateType> gate_type_from_name(std::string_view name) {
+  const std::string upper = to_upper(name);
+  // BUFF is the spelling used by several ISCAS89 distributions.
+  if (upper == "BUFF") return GateType::kBuf;
+  for (GateType type : {GateType::kInput, GateType::kDff, GateType::kConst0,
+                        GateType::kConst1, GateType::kBuf, GateType::kNot,
+                        GateType::kAnd, GateType::kNand, GateType::kOr,
+                        GateType::kNor, GateType::kXor, GateType::kXnor}) {
+    if (upper == gate_type_name(type)) return type;
+  }
+  return std::nullopt;
+}
+
+bool is_source_type(GateType type) {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kDff:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_combinational_type(GateType type) {
+  return !is_source_type(type);
+}
+
+std::optional<bool> controlling_value(GateType type) {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kNand:
+      return false;
+    case GateType::kOr:
+    case GateType::kNor:
+      return true;
+    default:
+      return std::nullopt;
+  }
+}
+
+bool arity_ok(GateType type, std::size_t arity) {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return arity == 0;
+    case GateType::kDff:
+    case GateType::kBuf:
+    case GateType::kNot:
+      return arity == 1;
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return arity >= 1;
+  }
+  return false;
+}
+
+bool eval_gate(GateType type, const std::vector<bool>& fanins) {
+  std::uint64_t words[16];
+  assert(fanins.size() <= 16);
+  for (std::size_t i = 0; i < fanins.size(); ++i) {
+    words[i] = fanins[i] ? ~0ULL : 0ULL;
+  }
+  return (eval_gate_words(type, words, fanins.size()) & 1ULL) != 0;
+}
+
+std::uint64_t eval_gate_words(GateType type, const std::uint64_t* fanins,
+                              std::size_t arity) {
+  switch (type) {
+    case GateType::kConst0:
+      return 0ULL;
+    case GateType::kConst1:
+      return ~0ULL;
+    case GateType::kInput:
+    case GateType::kDff:
+      assert(false && "source gates have no combinational function");
+      return 0ULL;
+    case GateType::kBuf:
+      assert(arity == 1);
+      return fanins[0];
+    case GateType::kNot:
+      assert(arity == 1);
+      return ~fanins[0];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      std::uint64_t acc = ~0ULL;
+      for (std::size_t i = 0; i < arity; ++i) acc &= fanins[i];
+      return type == GateType::kAnd ? acc : ~acc;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      std::uint64_t acc = 0ULL;
+      for (std::size_t i = 0; i < arity; ++i) acc |= fanins[i];
+      return type == GateType::kOr ? acc : ~acc;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      std::uint64_t acc = 0ULL;
+      for (std::size_t i = 0; i < arity; ++i) acc ^= fanins[i];
+      return type == GateType::kXor ? acc : ~acc;
+    }
+  }
+  return 0ULL;
+}
+
+std::vector<GateType> substitutable_types(std::size_t arity) {
+  std::vector<GateType> out;
+  for (GateType type : {GateType::kBuf, GateType::kNot, GateType::kAnd,
+                        GateType::kNand, GateType::kOr, GateType::kNor,
+                        GateType::kXor, GateType::kXnor}) {
+    if (arity_ok(type, arity)) out.push_back(type);
+  }
+  return out;
+}
+
+}  // namespace satdiag

@@ -1,0 +1,62 @@
+// Gate primitives of the ISCAS89 netlist model.
+//
+// The diagnosis algorithms need three per-type facts: the Boolean function
+// (for simulation and CNF encoding), the controlling value (for critical path
+// tracing, Fig. 1 of the paper), and the arity constraints (for the
+// gate-substitution error model).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace satdiag {
+
+enum class GateType : std::uint8_t {
+  kInput,   // primary input (or pseudo-PI after scan conversion)
+  kDff,     // D flip-flop; output is a combinational source, fanin[0] = data
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,   // k-ary parity
+  kXnor,  // k-ary inverted parity
+};
+
+/// Upper-case ISCAS89 .bench mnemonic ("AND", "DFF", ...).
+std::string_view gate_type_name(GateType type);
+
+/// Inverse of gate_type_name (case-insensitive); nullopt for unknown names.
+std::optional<GateType> gate_type_from_name(std::string_view name);
+
+/// True for gates whose value is not computed from fanins (PI, DFF, consts).
+bool is_source_type(GateType type);
+
+/// True for AND/NAND/OR/NOR/XOR/XNOR/BUF/NOT.
+bool is_combinational_type(GateType type);
+
+/// Controlling input value (0 for AND/NAND, 1 for OR/NOR), or nullopt for
+/// types without one (XOR/XNOR/BUF/NOT). Per footnote 1 in the paper.
+std::optional<bool> controlling_value(GateType type);
+
+/// Whether `arity` fanins are legal for the type.
+bool arity_ok(GateType type, std::size_t arity);
+
+/// Evaluate the gate function on single-bit fanin values.
+bool eval_gate(GateType type, const std::vector<bool>& fanins);
+
+/// Evaluate 64 patterns at once (bit i of each word = pattern i).
+std::uint64_t eval_gate_words(GateType type, const std::uint64_t* fanins,
+                              std::size_t arity);
+
+/// All combinational types that accept the given arity — the candidate pool
+/// for the gate-substitution error model.
+std::vector<GateType> substitutable_types(std::size_t arity);
+
+}  // namespace satdiag

@@ -1,0 +1,181 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace satdiag {
+
+void Netlist::check_not_finalized(const char* op) const {
+  if (finalized_) {
+    throw NetlistError(strprintf("%s after finalize()", op));
+  }
+}
+
+GateId Netlist::new_gate(GateType type, std::string name,
+                         std::vector<GateId> fanins) {
+  check_not_finalized("gate construction");
+  if (!arity_ok(type, fanins.size()) && type != GateType::kDff) {
+    throw NetlistError(strprintf("gate '%s': %zu fanins illegal for %s",
+                                 name.c_str(), fanins.size(),
+                                 std::string(gate_type_name(type)).c_str()));
+  }
+  for (GateId f : fanins) {
+    if (f >= types_.size()) {
+      throw NetlistError(strprintf("gate '%s': fanin id %u out of range",
+                                   name.c_str(), f));
+    }
+  }
+  const GateId id = static_cast<GateId>(types_.size());
+  if (!name.empty()) {
+    auto [it, inserted] = by_name_.emplace(name, id);
+    (void)it;
+    if (!inserted) {
+      throw NetlistError(strprintf("duplicate gate name '%s'", name.c_str()));
+    }
+  }
+  types_.push_back(type);
+  names_.push_back(std::move(name));
+  fanins_.push_back(std::move(fanins));
+  if (is_source_type(type)) ++num_sources_;
+  return id;
+}
+
+GateId Netlist::add_input(std::string name) {
+  const GateId id = new_gate(GateType::kInput, std::move(name), {});
+  inputs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_const(bool value, std::string name) {
+  return new_gate(value ? GateType::kConst1 : GateType::kConst0,
+                  std::move(name), {});
+}
+
+GateId Netlist::add_gate(GateType type, std::string name,
+                         std::vector<GateId> fanins) {
+  if (is_source_type(type)) {
+    throw NetlistError("add_gate expects a combinational type");
+  }
+  return new_gate(type, std::move(name), std::move(fanins));
+}
+
+GateId Netlist::add_dff(std::string name) {
+  const GateId id = new_gate(GateType::kDff, std::move(name), {});
+  dffs_.push_back(id);
+  return id;
+}
+
+void Netlist::set_dff_input(GateId dff, GateId data) {
+  check_not_finalized("set_dff_input");
+  if (dff >= size() || types_[dff] != GateType::kDff) {
+    throw NetlistError("set_dff_input: not a DFF");
+  }
+  if (data >= size()) {
+    throw NetlistError("set_dff_input: data id out of range");
+  }
+  fanins_[dff].assign(1, data);
+}
+
+void Netlist::add_output(GateId gate) {
+  check_not_finalized("add_output");
+  if (gate >= size()) throw NetlistError("add_output: id out of range");
+  outputs_.push_back(gate);
+}
+
+void Netlist::substitute_type(GateId gate, GateType new_type) {
+  if (gate >= size()) throw NetlistError("substitute_type: id out of range");
+  if (is_source(gate) || is_source_type(new_type)) {
+    throw NetlistError("substitute_type: only combinational gates");
+  }
+  if (!arity_ok(new_type, fanins_[gate].size())) {
+    throw NetlistError(strprintf(
+        "substitute_type: %s illegal at arity %zu",
+        std::string(gate_type_name(new_type)).c_str(), fanins_[gate].size()));
+  }
+  types_[gate] = new_type;
+}
+
+GateId Netlist::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kNoGate : it->second;
+}
+
+std::span<const GateId> Netlist::fanouts(GateId g) const {
+  const std::uint32_t begin = fanout_offset_[g];
+  const std::uint32_t end = fanout_offset_[g + 1];
+  return {fanout_data_.data() + begin, fanout_data_.data() + end};
+}
+
+void Netlist::finalize() {
+  if (finalized_) return;
+  for (GateId d : dffs_) {
+    if (fanins_[d].empty()) {
+      throw NetlistError(
+          strprintf("DFF '%s' has no data input", names_[d].c_str()));
+    }
+  }
+  const std::size_t n = size();
+
+  // Kahn's algorithm on the combinational graph. DFF *outputs* are sources;
+  // a DFF's data fanin is consumed at the end of the combinational frame and
+  // therefore contributes no combinational edge.
+  std::vector<std::uint32_t> pending(n, 0);
+  for (GateId g = 0; g < n; ++g) {
+    if (is_source(g)) continue;
+    pending[g] = static_cast<std::uint32_t>(fanins_[g].size());
+  }
+  topo_.clear();
+  topo_.reserve(n);
+  levels_.assign(n, 0);
+  // Combinational fanout edges, CSR. DFF data edges are included in the
+  // adjacency (path tracing must walk through a pseudo-PO into a DFF's cone)
+  // but not in the topological in-degree above.
+  std::vector<std::uint32_t> counts(n, 0);
+  for (GateId g = 0; g < n; ++g) {
+    for (GateId f : fanins_[g]) ++counts[f];
+  }
+  fanout_offset_.assign(n + 1, 0);
+  for (GateId g = 0; g < n; ++g) {
+    fanout_offset_[g + 1] = fanout_offset_[g] + counts[g];
+  }
+  fanout_data_.assign(fanout_offset_[n], 0);
+  {
+    std::vector<std::uint32_t> cursor(fanout_offset_.begin(),
+                                      fanout_offset_.end() - 1);
+    for (GateId g = 0; g < n; ++g) {
+      for (GateId f : fanins_[g]) fanout_data_[cursor[f]++] = g;
+    }
+  }
+
+  std::vector<GateId> queue;
+  for (GateId g = 0; g < n; ++g) {
+    if (is_source(g)) queue.push_back(g);
+  }
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const GateId g = queue[head++];
+    topo_.push_back(g);
+    for (GateId out : fanouts(g)) {
+      if (is_source(out)) continue;  // DFF data edge: next frame
+      std::uint32_t level = 0;
+      if (--pending[out] == 0) {
+        for (GateId f : fanins_[out]) {
+          level = std::max(level, levels_[f] + 1);
+        }
+        levels_[out] = level;
+        queue.push_back(out);
+      }
+    }
+  }
+  if (topo_.size() != n) {
+    throw NetlistError(strprintf(
+        "combinational cycle: %zu of %zu gates unreachable in topo sort",
+        n - topo_.size(), n));
+  }
+  depth_ = 0;
+  for (std::uint32_t level : levels_) depth_ = std::max(depth_, level);
+  finalized_ = true;
+}
+
+}  // namespace satdiag

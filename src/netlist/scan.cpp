@@ -1,0 +1,55 @@
+#include "netlist/scan.hpp"
+
+#include <cassert>
+
+namespace satdiag {
+
+ScanModel make_full_scan(const Netlist& sequential) {
+  assert(sequential.finalized());
+  ScanModel model;
+  Netlist& comb = model.comb;
+  comb.set_name(sequential.name() + "_scan");
+
+  // Rebuild gate-by-gate in id order so ids are preserved. The original
+  // netlist is constructible in id order by definition except for DFF data
+  // inputs (forward references), which do not exist in the scan view.
+  for (GateId g = 0; g < sequential.size(); ++g) {
+    const GateType type = sequential.type(g);
+    const std::string& name = sequential.gate_name(g);
+    GateId new_id = kNoGate;
+    switch (type) {
+      case GateType::kInput:
+        new_id = comb.add_input(name);
+        break;
+      case GateType::kDff:
+        new_id = comb.add_input(name);  // pseudo-primary input
+        break;
+      case GateType::kConst0:
+        new_id = comb.add_const(false, name);
+        break;
+      case GateType::kConst1:
+        new_id = comb.add_const(true, name);
+        break;
+      default: {
+        std::vector<GateId> fanins(sequential.fanins(g).begin(),
+                                   sequential.fanins(g).end());
+        new_id = comb.add_gate(type, name, std::move(fanins));
+        break;
+      }
+    }
+    assert(new_id == g);
+    (void)new_id;
+  }
+
+  for (GateId out : sequential.outputs()) comb.add_output(out);
+  model.num_real_inputs = sequential.inputs().size();
+  model.num_real_outputs = sequential.outputs().size();
+  for (GateId dff : sequential.dffs()) {
+    comb.add_output(sequential.fanins(dff)[0]);  // pseudo-primary output
+    model.scan_dffs.push_back(dff);
+  }
+  comb.finalize();
+  return model;
+}
+
+}  // namespace satdiag

@@ -1,0 +1,30 @@
+// Full-scan conversion of sequential circuits.
+//
+// The paper evaluates on sequential ISCAS89 circuits but all three basic
+// procedures operate per test on a combinational frame. The standard
+// full-scan model makes that explicit: every DFF output becomes a
+// pseudo-primary input and every DFF data input a pseudo-primary output.
+// Gate ids are preserved so errors injected in the sequential netlist map
+// 1:1 onto the combinational view.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace satdiag {
+
+struct ScanModel {
+  Netlist comb;  // combinational full-scan view; gate ids match the original
+
+  std::size_t num_real_inputs = 0;   // leading entries of comb.inputs()
+  std::size_t num_real_outputs = 0;  // leading entries of comb.outputs()
+
+  /// comb.outputs()[num_real_outputs + i] observes the data input of
+  /// original DFF scan_dffs[i].
+  std::vector<GateId> scan_dffs;
+};
+
+/// Build the full-scan combinational view. The input netlist must be
+/// finalized; the result is finalized too.
+ScanModel make_full_scan(const Netlist& sequential);
+
+}  // namespace satdiag

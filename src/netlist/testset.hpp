@@ -1,0 +1,33 @@
+// Tests and test-sets, Definition 1 of the paper.
+//
+// A test is a triple (t, o, v): an input vector t that causes an erroneous
+// value at primary output o, together with the correct value v for that
+// output. A test-set is an ordered collection of tests; indices into it
+// identify the candidate sets C_i produced by path tracing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace satdiag {
+
+struct Test {
+  /// Input values over netlist.inputs(), in order (for scan views this
+  /// includes the pseudo-primary inputs).
+  std::vector<bool> input_values;
+  /// Index into netlist.outputs() of the erroneous output.
+  std::size_t output_index = 0;
+  /// The value the specification demands at that output.
+  bool correct_value = false;
+};
+
+using TestSet = std::vector<Test>;
+
+/// The primary-output gate a test observes.
+inline GateId test_output_gate(const Netlist& nl, const Test& test) {
+  return nl.outputs()[test.output_index];
+}
+
+}  // namespace satdiag

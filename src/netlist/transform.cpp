@@ -1,0 +1,219 @@
+#include "netlist/transform.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "netlist/analysis.hpp"
+
+namespace satdiag {
+namespace {
+
+/// Lazily-created shared constant nodes in the output netlist.
+class ConstPool {
+ public:
+  explicit ConstPool(Netlist& nl) : nl_(&nl) {}
+  GateId get(bool value) {
+    GateId& slot = value ? one_ : zero_;
+    if (slot == kNoGate) slot = nl_->add_const(value, "");
+    return slot;
+  }
+
+ private:
+  Netlist* nl_;
+  GateId zero_ = kNoGate;
+  GateId one_ = kNoGate;
+};
+
+bool is_const(const Netlist& nl, GateId g, bool value) {
+  return nl.type(g) == (value ? GateType::kConst1 : GateType::kConst0);
+}
+
+bool is_any_const(const Netlist& nl, GateId g) {
+  return nl.type(g) == GateType::kConst0 || nl.type(g) == GateType::kConst1;
+}
+
+}  // namespace
+
+TransformResult constant_fold(const Netlist& nl) {
+  assert(nl.finalized());
+  TransformResult result;
+  Netlist& out = result.netlist;
+  out.set_name(nl.name() + "_fold");
+  result.gate_map.assign(nl.size(), kNoGate);
+  ConstPool consts(out);
+
+  // Keep only gates that can reach an observation point (dead logic is
+  // dropped); sources are always kept.
+  std::vector<GateId> roots = observation_points(nl);
+  for (GateId po : nl.outputs()) roots.push_back(po);
+  const std::vector<bool> live = fanin_cone(nl, roots);
+
+  // `negate` returns a node computing the complement of `node`.
+  auto negate = [&](GateId node) -> GateId {
+    if (is_any_const(out, node)) {
+      return consts.get(out.type(node) == GateType::kConst0);
+    }
+    if (out.type(node) == GateType::kNot) return out.fanins(node)[0];
+    return out.add_gate(GateType::kNot, "", {node});
+  };
+
+  for (GateId g : nl.topo_order()) {
+    if (!live[g] && nl.is_combinational(g)) continue;
+    switch (nl.type(g)) {
+      case GateType::kInput:
+        result.gate_map[g] = out.add_input(nl.gate_name(g));
+        continue;
+      case GateType::kDff:
+        result.gate_map[g] = out.add_dff(nl.gate_name(g));
+        continue;
+      case GateType::kConst0:
+      case GateType::kConst1:
+        result.gate_map[g] = consts.get(nl.type(g) == GateType::kConst1);
+        continue;
+      default:
+        break;
+    }
+
+    std::vector<GateId> ins;
+    ins.reserve(nl.fanins(g).size());
+    for (GateId f : nl.fanins(g)) {
+      assert(result.gate_map[f] != kNoGate);
+      ins.push_back(result.gate_map[f]);
+    }
+    const GateType type = nl.type(g);
+    GateId mapped = kNoGate;
+    switch (type) {
+      case GateType::kBuf:
+        mapped = ins[0];
+        break;
+      case GateType::kNot:
+        mapped = negate(ins[0]);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        const bool controlling =
+            (type == GateType::kOr || type == GateType::kNor);
+        const bool invert =
+            (type == GateType::kNand || type == GateType::kNor);
+        bool forced = false;
+        std::vector<GateId> kept;
+        for (GateId in : ins) {
+          if (is_const(out, in, controlling)) {
+            forced = true;  // controlling constant decides the output
+          } else if (!is_any_const(out, in)) {
+            kept.push_back(in);
+          }
+          // Non-controlling constants are simply dropped.
+        }
+        if (forced) {
+          mapped = consts.get(controlling != invert);
+        } else if (kept.empty()) {
+          // All inputs were non-controlling constants: identity element.
+          mapped = consts.get(!controlling != invert);
+        } else if (kept.size() == 1) {
+          mapped = invert ? negate(kept[0]) : kept[0];
+        } else {
+          const GateType base = controlling
+                                    ? (invert ? GateType::kNor : GateType::kOr)
+                                    : (invert ? GateType::kNand
+                                              : GateType::kAnd);
+          mapped = out.add_gate(base, nl.gate_name(g), std::move(kept));
+        }
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        bool parity_flip = (type == GateType::kXnor);
+        std::vector<GateId> kept;
+        for (GateId in : ins) {
+          if (is_const(out, in, true)) {
+            parity_flip = !parity_flip;
+          } else if (!is_const(out, in, false)) {
+            kept.push_back(in);
+          }
+        }
+        if (kept.empty()) {
+          mapped = consts.get(parity_flip);
+        } else if (kept.size() == 1) {
+          mapped = parity_flip ? negate(kept[0]) : kept[0];
+        } else {
+          mapped = out.add_gate(parity_flip ? GateType::kXnor : GateType::kXor,
+                                nl.gate_name(g), std::move(kept));
+        }
+        break;
+      }
+      default:
+        assert(false);
+    }
+    result.gate_map[g] = mapped;
+  }
+
+  for (GateId d : nl.dffs()) {
+    out.set_dff_input(result.gate_map[d], result.gate_map[nl.fanins(d)[0]]);
+  }
+  for (GateId po : nl.outputs()) {
+    out.add_output(result.gate_map[po]);
+  }
+  out.finalize();
+  return result;
+}
+
+TransformResult strash(const Netlist& nl) {
+  assert(nl.finalized());
+  TransformResult result;
+  Netlist& out = result.netlist;
+  out.set_name(nl.name() + "_strash");
+  result.gate_map.assign(nl.size(), kNoGate);
+
+  std::map<std::pair<GateType, std::vector<GateId>>, GateId> seen;
+  for (GateId g : nl.topo_order()) {
+    switch (nl.type(g)) {
+      case GateType::kInput:
+        result.gate_map[g] = out.add_input(nl.gate_name(g));
+        continue;
+      case GateType::kDff:
+        result.gate_map[g] = out.add_dff(nl.gate_name(g));
+        continue;
+      case GateType::kConst0:
+      case GateType::kConst1: {
+        auto key = std::make_pair(nl.type(g), std::vector<GateId>{});
+        auto it = seen.find(key);
+        if (it == seen.end()) {
+          const GateId c =
+              out.add_const(nl.type(g) == GateType::kConst1, nl.gate_name(g));
+          it = seen.emplace(std::move(key), c).first;
+        }
+        result.gate_map[g] = it->second;
+        continue;
+      }
+      default:
+        break;
+    }
+    std::vector<GateId> ins;
+    for (GateId f : nl.fanins(g)) ins.push_back(result.gate_map[f]);
+    // All our multi-input gate functions are commutative: canonicalize.
+    std::sort(ins.begin(), ins.end());
+    auto key = std::make_pair(nl.type(g), std::move(ins));
+    auto it = seen.find(key);
+    if (it == seen.end()) {
+      const GateId fresh =
+          out.add_gate(nl.type(g), nl.gate_name(g), key.second);
+      it = seen.emplace(std::move(key), fresh).first;
+    }
+    result.gate_map[g] = it->second;
+  }
+
+  for (GateId d : nl.dffs()) {
+    out.set_dff_input(result.gate_map[d], result.gate_map[nl.fanins(d)[0]]);
+  }
+  for (GateId po : nl.outputs()) {
+    out.add_output(result.gate_map[po]);
+  }
+  out.finalize();
+  return result;
+}
+
+}  // namespace satdiag

@@ -1,0 +1,36 @@
+// Netlist cleanup transforms: constant folding and structural hashing.
+//
+// Synthesis optimizations are exactly why the structural diagnosis
+// approaches the paper dismisses ([12]) break down — "such similarities may
+// not be present, e.g. due to optimizations during synthesis". These
+// transforms let tests and experiments produce optimized implementations
+// whose structure diverges from the specification while remaining
+// functionally equal, and they are useful preprocessing before CNF
+// encoding (fewer gates -> smaller diagnosis instances).
+//
+// Both transforms preserve the observable functions: every original output
+// maps to an equivalent signal in the transformed netlist.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace satdiag {
+
+struct TransformResult {
+  Netlist netlist;
+  /// old gate id -> new gate id carrying the same function, or kNoGate when
+  /// the gate was removed as unreachable/dead.
+  std::vector<GateId> gate_map;
+};
+
+/// Propagate constants (CONST0/CONST1 fanins simplify their fanouts),
+/// collapse BUF chains and single-input AND/OR, and drop gates that become
+/// unobservable. DFFs and primary inputs are always kept.
+TransformResult constant_fold(const Netlist& nl);
+
+/// Structural hashing: merge gates with identical (type, canonical fanin
+/// list). Fanins of commutative gates are sorted, so AND(a,b) and AND(b,a)
+/// merge. Runs bottom-up, so merged fanins enable further merges.
+TransformResult strash(const Netlist& nl);
+
+}  // namespace satdiag

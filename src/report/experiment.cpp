@@ -1,0 +1,113 @@
+#include "report/experiment.hpp"
+
+#include <algorithm>
+
+#include "bench/builtin_circuits.hpp"
+#include "gen/profiles.hpp"
+#include "netlist/scan.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace satdiag {
+namespace {
+Netlist build_circuit(const ExperimentConfig& config) {
+  if (const auto profile = find_profile(config.circuit)) {
+    return make_profile_circuit(*profile, config.scale, config.seed);
+  }
+  return make_builtin(config.circuit);
+}
+}  // namespace
+
+std::optional<PreparedExperiment> prepare_experiment(
+    const ExperimentConfig& config) {
+  PreparedExperiment prepared;
+  const Netlist sequential = build_circuit(config);
+  prepared.golden = make_full_scan(sequential).comb;
+
+  Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL);
+  InjectorOptions inject;
+  inject.num_errors = config.num_errors;
+  auto errors = inject_errors(prepared.golden, rng, inject);
+  if (!errors) {
+    SATDIAG_WARN() << "experiment " << config.circuit
+                   << ": no detectable error set found";
+    return std::nullopt;
+  }
+  prepared.errors = *errors;
+  prepared.error_sites = error_sites(prepared.errors);
+  prepared.faulty = apply_errors(prepared.golden, prepared.errors);
+
+  TestGenOptions testgen;
+  testgen.deadline = Deadline::after_seconds(config.time_limit_seconds);
+  prepared.tests = generate_failing_tests(prepared.golden, prepared.errors,
+                                          config.num_tests, rng, testgen);
+  if (prepared.tests.size() < config.num_tests) {
+    SATDIAG_WARN() << "experiment " << config.circuit << ": only "
+                   << prepared.tests.size() << "/" << config.num_tests
+                   << " failing tests";
+    if (prepared.tests.empty()) return std::nullopt;
+  }
+  return prepared;
+}
+
+ExperimentRow run_experiment(const PreparedExperiment& prepared,
+                             const ExperimentConfig& config,
+                             const RunSelection& selection) {
+  ExperimentRow row;
+  row.config = config;
+  row.circuit_size = prepared.faulty.size();
+  const unsigned k =
+      config.k != 0 ? config.k : static_cast<unsigned>(config.num_errors);
+
+  // ---- BSIM ---------------------------------------------------------------
+  Timer bsim_timer;
+  const BsimResult bsim = basic_sim_diagnose(prepared.faulty, prepared.tests);
+  row.bsim_seconds = bsim_timer.seconds();
+  row.bsim_quality =
+      evaluate_bsim_quality(prepared.faulty, bsim, prepared.error_sites);
+
+  // ---- COV ----------------------------------------------------------------
+  if (selection.run_cov) {
+    CovOptions cov;
+    cov.k = k;
+    cov.deadline = Deadline::after_seconds(config.time_limit_seconds);
+    cov.max_solutions = config.max_solutions;
+    bool coverable = true;
+    for (const auto& set : bsim.candidate_sets) coverable &= !set.empty();
+    if (coverable) {
+      const CovResult result = solve_covering_sat(bsim.candidate_sets, cov);
+      // The paper's COV "CNF" time includes running BSIM first.
+      row.cov.cnf_seconds = row.bsim_seconds + result.build_seconds;
+      row.cov.one_seconds = result.first_seconds;
+      row.cov.all_seconds = result.all_seconds;
+      row.cov.complete = result.complete;
+      row.cov.solutions = result.solutions;
+      row.cov.quality = evaluate_solution_quality(
+          prepared.faulty, result.solutions, prepared.error_sites);
+    } else {
+      row.cov.complete = false;
+    }
+  }
+
+  // ---- BSAT ---------------------------------------------------------------
+  if (selection.run_bsat) {
+    BsatOptions bsat;
+    bsat.k = k;
+    bsat.deadline = Deadline::after_seconds(config.time_limit_seconds);
+    bsat.max_solutions = config.max_solutions;
+    bsat.instance.gating_clauses = true;
+    bsat.instance.internal_decisions = false;
+    const BsatResult result =
+        basic_sat_diagnose(prepared.faulty, prepared.tests, bsat);
+    row.bsat.cnf_seconds = result.build_seconds;
+    row.bsat.one_seconds = result.first_seconds;
+    row.bsat.all_seconds = result.all_seconds;
+    row.bsat.complete = result.complete;
+    row.bsat.solutions = result.solutions;
+    row.bsat.quality = evaluate_solution_quality(
+        prepared.faulty, result.solutions, prepared.error_sites);
+  }
+  return row;
+}
+
+}  // namespace satdiag

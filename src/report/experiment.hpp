@@ -1,0 +1,74 @@
+// Shared experiment pipeline for the paper's evaluation (Section 5).
+//
+// One experiment cell = (circuit, p errors, m tests): generate the circuit,
+// take the full-scan view, inject p random gate-change errors, harvest m
+// failing tests, then run BSIM / COV / BSAT with the paper's resource
+// discipline (per-approach wall-clock limit; "DNF" cells instead of hangs).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "diag/bsat.hpp"
+#include "diag/cover.hpp"
+#include "diag/metrics.hpp"
+#include "fault/injector.hpp"
+#include "fault/testgen.hpp"
+
+namespace satdiag {
+
+struct ExperimentConfig {
+  std::string circuit = "s1423_like";  // profile name or builtin name
+  double scale = 1.0;                  // generator scale for quick runs
+  std::size_t num_errors = 1;          // p
+  std::size_t num_tests = 4;           // m
+  unsigned k = 0;                      // 0 = "set to the number of errors"
+  std::uint64_t seed = 1;
+  double time_limit_seconds = 1800.0;  // paper: 30 CPU-minutes
+  std::int64_t max_solutions = -1;
+};
+
+struct PreparedExperiment {
+  Netlist golden;  // full-scan combinational view, error-free
+  Netlist faulty;  // the implementation I (errors applied)
+  ErrorList errors;
+  std::vector<GateId> error_sites;
+  TestSet tests;
+};
+
+/// Builds the circuit (profile or builtin), injects errors, generates tests.
+/// nullopt when no detectable error set / not enough failing tests exist.
+std::optional<PreparedExperiment> prepare_experiment(
+    const ExperimentConfig& config);
+
+struct ApproachOutcome {
+  double cnf_seconds = 0.0;
+  double one_seconds = 0.0;
+  double all_seconds = 0.0;
+  bool complete = true;
+  std::vector<std::vector<GateId>> solutions;
+  SolutionSetQuality quality;
+};
+
+struct ExperimentRow {
+  ExperimentConfig config;
+  std::size_t circuit_size = 0;
+
+  double bsim_seconds = 0.0;
+  BsimQuality bsim_quality;
+
+  ApproachOutcome cov;
+  ApproachOutcome bsat;
+};
+
+struct RunSelection {
+  bool run_cov = true;
+  bool run_bsat = true;
+};
+
+/// Run the three basic approaches on a prepared experiment.
+ExperimentRow run_experiment(const PreparedExperiment& prepared,
+                             const ExperimentConfig& config,
+                             const RunSelection& selection = {});
+
+}  // namespace satdiag

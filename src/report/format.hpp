@@ -1,0 +1,27 @@
+// Row formatting for the reproduction tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/experiment.hpp"
+
+namespace satdiag {
+
+/// Header of the Table 2 reproduction (runtime comparison).
+std::vector<std::string> table2_header();
+/// One Table 2 row: I, p, m, BSIM, COV CNF/One/All, BSAT CNF/One/All.
+std::vector<std::string> table2_row(const ExperimentRow& row);
+
+/// Header of the Table 3 reproduction (quality comparison).
+std::vector<std::string> table3_header();
+std::vector<std::string> table3_row(const ExperimentRow& row);
+
+/// Figure 6 scatter points: "circuit,p,m,cov_value,bsat_value".
+std::string fig6_avg_csv_row(const ExperimentRow& row);
+std::string fig6_nsol_csv_row(const ExperimentRow& row);
+
+/// Format a timing cell, marking incomplete runs ("DNF" policy).
+std::string timing_cell(double seconds, bool complete);
+
+}  // namespace satdiag

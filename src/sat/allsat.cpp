@@ -1,0 +1,50 @@
+#include "sat/allsat.hpp"
+
+namespace satdiag::sat {
+
+AllSatResult enumerate_all(Solver& solver, const std::vector<Var>& projection,
+                           std::span<const Lit> assumptions,
+                           const AllSatOptions& options) {
+  AllSatResult result;
+  for (;;) {
+    if (options.deadline.expired()) return result;
+    if (options.max_solutions >= 0 &&
+        static_cast<std::int64_t>(result.solutions.size()) >=
+            options.max_solutions) {
+      return result;
+    }
+    solver.set_deadline(options.deadline);
+    const LBool status = solver.solve(assumptions);
+    if (status == LBool::kUndef) return result;  // budget exhausted
+    if (status == LBool::kFalse) {
+      result.complete = true;
+      return result;
+    }
+    std::vector<Var> asserted;
+    for (Var v : projection) {
+      if (solver.model_value(v) == LBool::kTrue) asserted.push_back(v);
+    }
+    Clause blocking;
+    if (options.block_positive_subset) {
+      for (Var v : asserted) blocking.push_back(neg(v));
+    } else {
+      for (Var v : projection) {
+        blocking.push_back(solver.model_value(v) == LBool::kTrue ? neg(v)
+                                                                 : pos(v));
+      }
+    }
+    result.solutions.push_back(std::move(asserted));
+    if (blocking.empty()) {
+      // The empty projection satisfied the instance; no further distinct
+      // projected solution exists under subset blocking.
+      result.complete = true;
+      return result;
+    }
+    if (!solver.add_clause(std::move(blocking))) {
+      result.complete = true;
+      return result;
+    }
+  }
+}
+
+}  // namespace satdiag::sat

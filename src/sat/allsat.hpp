@@ -1,0 +1,47 @@
+// All-solutions SAT enumeration over a projection variable set.
+//
+// BasicSATDiagnose (Fig. 3 of the paper) enumerates every satisfying
+// assignment of the diagnosis instance, projected onto the multiplexer
+// select lines, and "adds a blocking clause for each solution". This helper
+// implements exactly that loop: solve, project the model onto the tracked
+// variables, block the projected cube, repeat until UNSAT.
+//
+// Blocking clauses here negate the *positive* select literals only (the
+// projected solutions of interest are the sets of asserted selects, and the
+// enumeration below is used with cardinality bounds that keep those sets
+// small); with `block_full_cube` the classic full-cube blocking over all
+// projection variables is used instead.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "util/timer.hpp"
+
+namespace satdiag::sat {
+
+struct AllSatOptions {
+  /// Block only the asserted projection variables (subset blocking: forbids
+  /// every superset too — what BSAT wants, since supersets of a correction
+  /// are non-essential). When false, blocks the full cube (exact model
+  /// enumeration over the projection).
+  bool block_positive_subset = true;
+  Deadline deadline;
+  std::int64_t max_solutions = -1;  // unlimited when negative
+};
+
+struct AllSatResult {
+  /// One entry per enumerated solution: the asserted projection variables.
+  std::vector<std::vector<Var>> solutions;
+  bool complete = false;  // false when a budget stopped the enumeration
+};
+
+/// Enumerate solutions projected onto `projection` under `assumptions`.
+/// The solver keeps the blocking clauses afterwards (that is what Fig. 3
+/// prescribes: smaller corrections stay blocked as k increases).
+AllSatResult enumerate_all(Solver& solver, const std::vector<Var>& projection,
+                           std::span<const Lit> assumptions,
+                           const AllSatOptions& options = {});
+
+}  // namespace satdiag::sat

@@ -1,0 +1,652 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace satdiag::sat {
+
+// ---------------------------------------------------------------------------
+// Arena
+
+Solver::CRef Solver::Arena::alloc(std::span<const Lit> lits, bool learnt) {
+  const CRef cref = static_cast<CRef>(data.size());
+  data.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
+                 (learnt ? 2u : 0u));
+  data.push_back(std::bit_cast<std::uint32_t>(0.0f));
+  for (Lit l : lits) data.push_back(static_cast<std::uint32_t>(l.index()));
+  return cref;
+}
+
+float Solver::Arena::activity(CRef c) const {
+  return std::bit_cast<float>(data[c + 1]);
+}
+
+void Solver::Arena::set_activity(CRef c, float a) {
+  data[c + 1] = std::bit_cast<std::uint32_t>(a);
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+
+Solver::Solver() = default;
+
+Var Solver::new_var(bool decidable, bool default_phase) {
+  const Var v = num_vars();
+  assigns_.push_back(LBool::kUndef);
+  vardata_.push_back(VarData{});
+  saved_phase_.push_back(default_phase);
+  decision_.push_back(decidable);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(false);
+  model_.push_back(LBool::kUndef);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  if (decidable) heap_insert(v);
+  return v;
+}
+
+bool Solver::add_clause(Clause lits) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+  std::sort(lits.begin(), lits.end());
+  Lit prev = Lit::undef();
+  std::size_t out = 0;
+  for (Lit l : lits) {
+    if (value(l) == LBool::kTrue || l == ~prev) return true;  // satisfied/taut
+    if (value(l) != LBool::kFalse && l != prev) {
+      lits[out++] = prev = l;
+    }
+  }
+  lits.resize(out);
+  if (lits.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (lits.size() == 1) {
+    unchecked_enqueue(lits[0], kCRefUndef);
+    ok_ = (propagate() == kCRefUndef);
+    return ok_;
+  }
+  const CRef cref = arena_.alloc(lits, /*learnt=*/false);
+  clauses_.push_back(cref);
+  attach_clause(cref);
+  return true;
+}
+
+void Solver::attach_clause(CRef c) {
+  assert(arena_.size(c) >= 2);
+  const Lit l0 = arena_.lit(c, 0);
+  const Lit l1 = arena_.lit(c, 1);
+  watches_[static_cast<std::size_t>((~l0).index())].push_back({c, l1});
+  watches_[static_cast<std::size_t>((~l1).index())].push_back({c, l0});
+}
+
+void Solver::detach_clause(CRef c) {
+  for (int i = 0; i < 2; ++i) {
+    const Lit w = ~arena_.lit(c, static_cast<std::uint32_t>(i));
+    auto& list = watches_[static_cast<std::size_t>(w.index())];
+    for (std::size_t j = 0; j < list.size(); ++j) {
+      if (list[j].cref == c) {
+        list[j] = list.back();
+        list.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void Solver::remove_clause(CRef c) {
+  detach_clause(c);
+  // A clause locked as a reason must not be deleted; callers filter those.
+  arena_.mark_deleted(c);
+  wasted_ += arena_.size(c) + 2;
+}
+
+// ---------------------------------------------------------------------------
+// Propagation
+
+void Solver::unchecked_enqueue(Lit p, CRef reason) {
+  assert(value(p) == LBool::kUndef);
+  assigns_[static_cast<std::size_t>(p.var())] = lbool_from(!p.sign());
+  vardata_[static_cast<std::size_t>(p.var())] = {reason, decision_level()};
+  trail_.push_back(p);
+}
+
+Solver::CRef Solver::propagate() {
+  CRef conflict = kCRefUndef;
+  while (qhead_ < static_cast<int>(trail_.size())) {
+    const Lit p = trail_[static_cast<std::size_t>(qhead_++)];
+    ++stats_.propagations;
+    auto& list = watches_[static_cast<std::size_t>(p.index())];
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < list.size()) {
+      const Watcher w = list[i];
+      if (value(w.blocker) == LBool::kTrue) {
+        list[j++] = list[i++];
+        continue;
+      }
+      const CRef c = w.cref;
+      // Ensure the false literal (~p) is at slot 1.
+      if (arena_.lit(c, 0) == ~p) {
+        arena_.set_lit(c, 0, arena_.lit(c, 1));
+        arena_.set_lit(c, 1, ~p);
+      }
+      ++i;
+      const Lit first = arena_.lit(c, 0);
+      if (first != w.blocker && value(first) == LBool::kTrue) {
+        list[j++] = {c, first};
+        continue;
+      }
+      // Look for a new watch.
+      const std::uint32_t size = arena_.size(c);
+      bool moved = false;
+      for (std::uint32_t k = 2; k < size; ++k) {
+        const Lit lk = arena_.lit(c, k);
+        if (value(lk) != LBool::kFalse) {
+          arena_.set_lit(c, 1, lk);
+          arena_.set_lit(c, k, ~p);
+          watches_[static_cast<std::size_t>((~lk).index())].push_back(
+              {c, first});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      list[j++] = {c, first};
+      if (value(first) == LBool::kFalse) {
+        conflict = c;
+        qhead_ = static_cast<int>(trail_.size());
+        while (i < list.size()) list[j++] = list[i++];
+      } else {
+        unchecked_enqueue(first, c);
+      }
+    }
+    list.resize(j);
+    if (conflict != kCRefUndef) break;
+  }
+  return conflict;
+}
+
+void Solver::cancel_until(int level) {
+  if (decision_level() <= level) return;
+  const int bound = trail_lim_[static_cast<std::size_t>(level)];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
+    const Lit p = trail_[static_cast<std::size_t>(i)];
+    const Var v = p.var();
+    assigns_[static_cast<std::size_t>(v)] = LBool::kUndef;
+    saved_phase_[static_cast<std::size_t>(v)] = !p.sign();  // phase saving
+    if (decision_[static_cast<std::size_t>(v)] && !heap_in(v)) heap_insert(v);
+  }
+  trail_.resize(static_cast<std::size_t>(bound));
+  trail_lim_.resize(static_cast<std::size_t>(level));
+  qhead_ = bound;
+}
+
+// ---------------------------------------------------------------------------
+// Decision heuristic
+
+void Solver::var_bump_activity(Var v) {
+  auto& act = activity_[static_cast<std::size_t>(v)];
+  act += var_inc_;
+  if (act > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_in(v)) heap_update(v);
+}
+
+void Solver::boost_activity(Var v, double factor) {
+  auto& act = activity_[static_cast<std::size_t>(v)];
+  act = act * factor + var_inc_ * factor;
+  if (heap_in(v)) heap_update(v);
+}
+
+void Solver::set_decision_var(Var v, bool decidable) {
+  decision_[static_cast<std::size_t>(v)] = decidable;
+  if (decidable && !heap_in(v)) {
+    heap_insert(v);
+  }
+}
+
+void Solver::heap_insert(Var v) {
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heap_percolate_up(static_cast<int>(heap_.size()) - 1);
+}
+
+void Solver::heap_update(Var v) {
+  heap_percolate_up(heap_pos_[static_cast<std::size_t>(v)]);
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_pos_[static_cast<std::size_t>(top)] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
+    heap_percolate_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_percolate_up(int i) {
+  const Var v = heap_[static_cast<std::size_t>(i)];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    const Var pv = heap_[static_cast<std::size_t>(parent)];
+    if (!heap_lt(v, pv)) break;
+    heap_[static_cast<std::size_t>(i)] = pv;
+    heap_pos_[static_cast<std::size_t>(pv)] = i;
+    i = parent;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+void Solver::heap_percolate_down(int i) {
+  const Var v = heap_[static_cast<std::size_t>(i)];
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_lt(heap_[static_cast<std::size_t>(child + 1)],
+                                 heap_[static_cast<std::size_t>(child)])) {
+      ++child;
+    }
+    const Var cv = heap_[static_cast<std::size_t>(child)];
+    if (!heap_lt(cv, v)) break;
+    heap_[static_cast<std::size_t>(i)] = cv;
+    heap_pos_[static_cast<std::size_t>(cv)] = i;
+    i = child;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!heap_.empty()) {
+    const Var v = heap_[0];
+    if (value(v) == LBool::kUndef && decision_[static_cast<std::size_t>(v)]) {
+      heap_pop();
+      return Lit(v, !saved_phase_[static_cast<std::size_t>(v)]);
+    }
+    heap_pop();
+  }
+  return Lit::undef();
+}
+
+// ---------------------------------------------------------------------------
+// Conflict analysis (first UIP + recursive minimization)
+
+void Solver::cla_bump_activity(CRef c) {
+  float act = arena_.activity(c) + cla_inc_;
+  if (act > 1e20f) {
+    for (CRef l : learnts_) {
+      arena_.set_activity(l, arena_.activity(l) * 1e-20f);
+    }
+    cla_inc_ *= 1e-20f;
+    act = arena_.activity(c) + cla_inc_;
+  }
+  arena_.set_activity(c, act);
+}
+
+void Solver::analyze(CRef conflict, Clause& out_learnt, int& out_btlevel,
+                     unsigned& out_lbd) {
+  int path_count = 0;
+  Lit p = Lit::undef();
+  out_learnt.clear();
+  out_learnt.push_back(Lit::undef());  // slot for the asserting literal
+  int index = static_cast<int>(trail_.size()) - 1;
+
+  CRef reason = conflict;
+  do {
+    assert(reason != kCRefUndef);
+    if (arena_.learnt(reason)) cla_bump_activity(reason);
+    const std::uint32_t size = arena_.size(reason);
+    for (std::uint32_t i = (p == Lit::undef() ? 0 : 1); i < size; ++i) {
+      const Lit q = arena_.lit(reason, i);
+      const Var v = q.var();
+      if (seen_[static_cast<std::size_t>(v)] ||
+          vardata_[static_cast<std::size_t>(v)].level == 0) {
+        continue;
+      }
+      seen_[static_cast<std::size_t>(v)] = true;
+      var_bump_activity(v);
+      if (vardata_[static_cast<std::size_t>(v)].level >= decision_level()) {
+        ++path_count;
+      } else {
+        out_learnt.push_back(q);
+      }
+    }
+    // Next literal on the trail that participates in the conflict.
+    while (!seen_[static_cast<std::size_t>(
+        trail_[static_cast<std::size_t>(index)].var())]) {
+      --index;
+    }
+    p = trail_[static_cast<std::size_t>(index)];
+    --index;
+    reason = vardata_[static_cast<std::size_t>(p.var())].reason;
+    seen_[static_cast<std::size_t>(p.var())] = false;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  // Recursive minimization: drop literals implied by the rest of the clause.
+  analyze_clear_.assign(out_learnt.begin() + 1, out_learnt.end());
+  for (Lit l : analyze_clear_) seen_[static_cast<std::size_t>(l.var())] = true;
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    abstract_levels |= 1u << (vardata_[static_cast<std::size_t>(
+                                  out_learnt[i].var())].level & 31);
+  }
+  std::size_t out = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    const Lit l = out_learnt[i];
+    if (vardata_[static_cast<std::size_t>(l.var())].reason == kCRefUndef ||
+        !lit_redundant(l, abstract_levels)) {
+      out_learnt[out++] = l;
+    }
+  }
+  out_learnt.resize(out);
+
+  // Backtrack level: the second-highest level in the clause.
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+      if (vardata_[static_cast<std::size_t>(out_learnt[i].var())].level >
+          vardata_[static_cast<std::size_t>(out_learnt[max_i].var())].level) {
+        max_i = i;
+      }
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = vardata_[static_cast<std::size_t>(out_learnt[1].var())].level;
+  }
+
+  // Literal-block distance (used only as a statistic here).
+  out_lbd = 0;
+  std::vector<int> lbd_seen;
+  for (Lit l : out_learnt) {
+    const int lev = vardata_[static_cast<std::size_t>(l.var())].level;
+    if (std::find(lbd_seen.begin(), lbd_seen.end(), lev) == lbd_seen.end()) {
+      lbd_seen.push_back(lev);
+      ++out_lbd;
+    }
+  }
+
+  for (Lit l : analyze_clear_) seen_[static_cast<std::size_t>(l.var())] = false;
+  seen_[static_cast<std::size_t>(out_learnt[0].var())] = false;
+}
+
+bool Solver::lit_redundant(Lit p, std::uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(p);
+  std::vector<Var> to_clear;
+  bool redundant = true;
+  while (!analyze_stack_.empty() && redundant) {
+    const Lit l = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const CRef reason = vardata_[static_cast<std::size_t>(l.var())].reason;
+    assert(reason != kCRefUndef);
+    const std::uint32_t size = arena_.size(reason);
+    for (std::uint32_t i = 1; i < size; ++i) {
+      const Lit q = arena_.lit(reason, i);
+      const Var v = q.var();
+      const int level = vardata_[static_cast<std::size_t>(v)].level;
+      if (seen_[static_cast<std::size_t>(v)] || level == 0) continue;
+      if (vardata_[static_cast<std::size_t>(v)].reason == kCRefUndef ||
+          ((1u << (level & 31)) & abstract_levels) == 0) {
+        redundant = false;
+        break;
+      }
+      seen_[static_cast<std::size_t>(v)] = true;
+      to_clear.push_back(v);
+      analyze_stack_.push_back(q);
+    }
+  }
+  if (redundant) {
+    // Keep the marks: they are part of the learnt-clause closure and are
+    // cleared wholesale at the end of analyze().
+    for (Var v : to_clear) analyze_clear_.push_back(Lit(v, false));
+  } else {
+    for (Var v : to_clear) seen_[static_cast<std::size_t>(v)] = false;
+  }
+  return redundant;
+}
+
+void Solver::analyze_final(Lit p) {
+  conflict_.clear();
+  conflict_.push_back(p);
+  if (decision_level() == 0) return;
+  seen_[static_cast<std::size_t>(p.var())] = true;
+  for (int i = static_cast<int>(trail_.size()) - 1;
+       i >= trail_lim_[0]; --i) {
+    const Var v = trail_[static_cast<std::size_t>(i)].var();
+    if (!seen_[static_cast<std::size_t>(v)]) continue;
+    const CRef reason = vardata_[static_cast<std::size_t>(v)].reason;
+    if (reason == kCRefUndef) {
+      if (vardata_[static_cast<std::size_t>(v)].level > 0) {
+        conflict_.push_back(~trail_[static_cast<std::size_t>(i)]);
+      }
+    } else {
+      const std::uint32_t size = arena_.size(reason);
+      for (std::uint32_t j = 1; j < size; ++j) {
+        const Var u = arena_.lit(reason, j).var();
+        if (vardata_[static_cast<std::size_t>(u)].level > 0) {
+          seen_[static_cast<std::size_t>(u)] = true;
+        }
+      }
+    }
+    seen_[static_cast<std::size_t>(v)] = false;
+  }
+  seen_[static_cast<std::size_t>(p.var())] = false;
+}
+
+// ---------------------------------------------------------------------------
+// Learnt DB management
+
+void Solver::reduce_db() {
+  // Sort learnts by activity and drop the weaker half (never reasons or
+  // binary clauses).
+  std::sort(learnts_.begin(), learnts_.end(), [&](CRef a, CRef b) {
+    return arena_.activity(a) < arena_.activity(b);
+  });
+  auto is_locked = [&](CRef c) {
+    const Lit l0 = arena_.lit(c, 0);
+    return value(l0) == LBool::kTrue &&
+           vardata_[static_cast<std::size_t>(l0.var())].reason == c;
+  };
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < learnts_.size(); ++i) {
+    const CRef c = learnts_[i];
+    if (arena_.size(c) > 2 && !is_locked(c) &&
+        (i < learnts_.size() / 2)) {
+      remove_clause(c);
+      ++stats_.removed;
+    } else {
+      learnts_[out++] = c;
+    }
+  }
+  learnts_.resize(out);
+  if (wasted_ * 2 > arena_.data.size()) garbage_collect();
+}
+
+void Solver::garbage_collect() {
+  ++stats_.gc_runs;
+  Arena fresh;
+  fresh.data.reserve(arena_.data.size() - wasted_);
+  std::vector<Lit> scratch;
+  auto reloc = [&](CRef& c) {
+    if (c == kCRefUndef || arena_.deleted(c)) return;
+    // Move the clause and leave a forwarding pointer in the activity slot.
+    if (arena_.data[c] & 1u) return;  // deleted
+    // Forwarding: reuse header bit pattern 0xffffffff impossible for live
+    // clause headers (size would be huge); store new cref in data[c+1] and
+    // set a dedicated tag in data[c].
+    scratch.clear();
+    const std::uint32_t size = arena_.size(c);
+    for (std::uint32_t i = 0; i < size; ++i) scratch.push_back(arena_.lit(c, i));
+    const CRef moved = fresh.alloc(scratch, arena_.learnt(c));
+    fresh.set_activity(moved, arena_.activity(c));
+    arena_.mark_deleted(c);
+    arena_.data[c + 1] = moved;  // forwarding pointer
+    c = moved;
+  };
+  auto follow = [&](CRef& c) {
+    if (c == kCRefUndef) return;
+    if (arena_.data[c] & 1u) {
+      c = arena_.data[c + 1];
+    } else {
+      reloc(c);
+    }
+  };
+  for (CRef& c : clauses_) reloc(c);
+  for (CRef& c : learnts_) reloc(c);
+  for (Var v = 0; v < num_vars(); ++v) {
+    auto& vd = vardata_[static_cast<std::size_t>(v)];
+    if (value(v) == LBool::kUndef) {
+      // Stale reason of an unassigned variable may point at a clause that
+      // was already removed; it is never read again, so drop it.
+      vd.reason = kCRefUndef;
+    } else if (vd.reason != kCRefUndef) {
+      follow(vd.reason);
+    }
+  }
+  // Rebuild watches from scratch.
+  for (auto& list : watches_) list.clear();
+  arena_ = std::move(fresh);
+  for (CRef c : clauses_) attach_clause(c);
+  for (CRef c : learnts_) attach_clause(c);
+  wasted_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Search
+
+bool Solver::within_budget() const {
+  if (conflict_budget_ >= 0 &&
+      stats_.conflicts >= static_cast<std::uint64_t>(conflict_budget_)) {
+    return false;
+  }
+  return !deadline_.expired();
+}
+
+double Solver::luby(double y, int i) {
+  int size = 1;
+  int seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i = i % size;
+  }
+  return std::pow(y, seq);
+}
+
+LBool Solver::search() {
+  const int restart_base = 100;
+  int conflicts_this_restart = 0;
+  const double restart_factor =
+      luby(2.0, static_cast<int>(stats_.restarts));
+  const int restart_limit =
+      static_cast<int>(restart_factor * restart_base);
+  Clause learnt;
+
+  for (;;) {
+    const CRef conflict = propagate();
+    if (conflict != kCRefUndef) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      if (decision_level() == 0) return LBool::kFalse;
+      int backtrack_level = 0;
+      unsigned lbd = 0;
+      analyze(conflict, learnt, backtrack_level, lbd);
+      cancel_until(backtrack_level);
+      if (learnt.size() == 1) {
+        unchecked_enqueue(learnt[0], kCRefUndef);
+      } else {
+        const CRef cref = arena_.alloc(learnt, /*learnt=*/true);
+        learnts_.push_back(cref);
+        attach_clause(cref);
+        cla_bump_activity(cref);
+        unchecked_enqueue(learnt[0], cref);
+        ++stats_.learned;
+      }
+      var_decay_activity();
+      cla_decay_activity();
+      continue;
+    }
+
+    // No conflict.
+    if ((stats_.conflicts & 1023) == 0 && !within_budget()) {
+      cancel_until(0);
+      return LBool::kUndef;
+    }
+    if (conflicts_this_restart >= restart_limit) {
+      cancel_until(0);
+      ++stats_.restarts;
+      return LBool::kUndef;  // caller loops; learnt clauses kept
+    }
+    if (static_cast<double>(learnts_.size()) >= max_learnts_) {
+      reduce_db();
+    }
+
+    // Extend with assumptions first.
+    Lit next = Lit::undef();
+    while (decision_level() < static_cast<int>(assumptions_.size())) {
+      const Lit a = assumptions_[static_cast<std::size_t>(decision_level())];
+      if (value(a) == LBool::kTrue) {
+        new_decision_level();  // already satisfied; dummy level keeps indexing
+      } else if (value(a) == LBool::kFalse) {
+        analyze_final(~a);
+        return LBool::kFalse;
+      } else {
+        next = a;
+        break;
+      }
+    }
+    if (next == Lit::undef()) {
+      ++stats_.decisions;
+      next = pick_branch_lit();
+      if (next == Lit::undef()) return LBool::kTrue;  // all assigned: model
+    }
+    new_decision_level();
+    unchecked_enqueue(next, kCRefUndef);
+  }
+}
+
+LBool Solver::solve(std::span<const Lit> assumptions) {
+  conflict_.clear();
+  if (!ok_) return LBool::kFalse;
+  assumptions_.assign(assumptions.begin(), assumptions.end());
+  max_learnts_ = std::max<double>(
+      static_cast<double>(clauses_.size()) / 3.0, 2000.0);
+
+  LBool status = LBool::kUndef;
+  while (status == LBool::kUndef) {
+    if (!within_budget()) break;
+    status = search();
+    max_learnts_ *= 1.05;
+  }
+  if (status == LBool::kTrue) {
+    for (Var v = 0; v < num_vars(); ++v) {
+      model_[static_cast<std::size_t>(v)] = value(v);
+    }
+  } else if (status == LBool::kFalse && conflict_.empty()) {
+    // UNSAT independent of assumptions.
+  }
+  cancel_until(0);
+  return status;
+}
+
+}  // namespace satdiag::sat

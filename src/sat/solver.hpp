@@ -1,0 +1,196 @@
+// Conflict-driven clause-learning SAT solver.
+//
+// A from-scratch reimplementation of the Chaff/MiniSat architecture the paper
+// relies on ("conflict-based learning [14] and efficient Boolean constraint
+// propagation [15]"): two-watched-literal BCP, first-UIP learning with
+// recursive clause minimization, EVSIDS decision heuristic with phase saving,
+// Luby restarts, activity-driven learnt-clause reduction with arena GC, and
+// incremental solving under assumptions (the paper's BSAT procedure reuses
+// learnt clauses across the k=1..K iterations this way).
+//
+// Extra hooks used by the diagnosis layer:
+//  * decision markers — BSAT restricts decisions to select/correction vars,
+//  * external activity bumps and polarity hints — the hybrid approach seeds
+//    the heuristic from simulation results (Sec. 6 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/types.hpp"
+#include "util/timer.hpp"
+
+namespace satdiag::sat {
+
+class Solver {
+ public:
+  Solver();
+
+  // ---- problem construction ----------------------------------------------
+  Var new_var(bool decidable = true, bool default_phase = false);
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Add a clause; returns false when the formula is already UNSAT at the
+  /// root level. Literals may be unsorted and contain duplicates.
+  bool add_clause(Clause lits);
+  bool add_clause(Lit a) { return add_clause(Clause{a}); }
+  bool add_clause(Lit a, Lit b) { return add_clause(Clause{a, b}); }
+  bool add_clause(Lit a, Lit b, Lit c) { return add_clause(Clause{a, b, c}); }
+
+  bool ok() const { return ok_; }
+
+  // ---- solving --------------------------------------------------------------
+  /// kTrue: model available; kFalse: UNSAT under assumptions; kUndef: budget
+  /// or deadline exhausted.
+  LBool solve(std::span<const Lit> assumptions = {});
+
+  LBool model_value(Var v) const { return model_[static_cast<std::size_t>(v)]; }
+  LBool model_value(Lit l) const { return model_value(l.var()) ^ l.sign(); }
+
+  /// After kFalse under assumptions: the subset of assumptions proven
+  /// contradictory (in negated form, as in MiniSat's conflict vector).
+  const std::vector<Lit>& conflict() const { return conflict_; }
+
+  // ---- budgets ----------------------------------------------------------------
+  void set_conflict_budget(std::int64_t conflicts) { conflict_budget_ = conflicts; }
+  void clear_budgets() { conflict_budget_ = -1; deadline_ = Deadline(); }
+  void set_deadline(Deadline d) { deadline_ = d; }
+
+  // ---- heuristic hooks ------------------------------------------------------
+  void set_decision_var(Var v, bool decidable);
+  void set_polarity_hint(Var v, bool phase) {
+    saved_phase_[static_cast<std::size_t>(v)] = phase;
+  }
+  /// Multiplies into the EVSIDS activity; larger = decided earlier.
+  void boost_activity(Var v, double factor);
+
+  struct Stats {
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learned = 0;
+    std::uint64_t removed = 0;
+    std::uint64_t gc_runs = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::size_t num_clauses() const { return clauses_.size(); }
+  std::size_t num_learnts() const { return learnts_.size(); }
+
+ private:
+  using CRef = std::uint32_t;
+  static constexpr CRef kCRefUndef = 0xffffffffu;
+
+  // Arena clause layout: [header][activity bits][lits...]
+  // header = (size << 2) | (learnt << 1) | deleted.
+  struct Arena {
+    std::vector<std::uint32_t> data;
+
+    CRef alloc(std::span<const Lit> lits, bool learnt);
+    std::uint32_t size(CRef c) const { return data[c] >> 2; }
+    bool learnt(CRef c) const { return (data[c] >> 1) & 1; }
+    bool deleted(CRef c) const { return data[c] & 1; }
+    void mark_deleted(CRef c) { data[c] |= 1; }
+    Lit lit(CRef c, std::uint32_t i) const {
+      return Lit::from_index(static_cast<int>(data[c + 2 + i]));
+    }
+    void set_lit(CRef c, std::uint32_t i, Lit l) {
+      data[c + 2 + i] = static_cast<std::uint32_t>(l.index());
+    }
+    void shrink(CRef c, std::uint32_t new_size) {
+      data[c] = (new_size << 2) | (data[c] & 3);
+    }
+    float activity(CRef c) const;
+    void set_activity(CRef c, float a);
+  };
+
+  struct Watcher {
+    CRef cref;
+    Lit blocker;
+  };
+
+  struct VarData {
+    CRef reason = kCRefUndef;
+    int level = 0;
+  };
+
+  // internal engine
+  LBool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+  LBool value(Lit l) const { return value(l.var()) ^ l.sign(); }
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+  void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+
+  void attach_clause(CRef c);
+  void detach_clause(CRef c);
+  void remove_clause(CRef c);
+  void unchecked_enqueue(Lit p, CRef reason);
+  CRef propagate();
+  void cancel_until(int level);
+  Lit pick_branch_lit();
+  void analyze(CRef conflict, Clause& out_learnt, int& out_btlevel,
+               unsigned& out_lbd);
+  bool lit_redundant(Lit p, std::uint32_t abstract_levels);
+  void analyze_final(Lit p);
+  void var_bump_activity(Var v);
+  void var_decay_activity() { var_inc_ *= (1.0 / 0.95); }
+  void cla_bump_activity(CRef c);
+  void cla_decay_activity() { cla_inc_ *= (1.0f / 0.999f); }
+  void reduce_db();
+  void garbage_collect();
+  LBool search();
+  bool within_budget() const;
+  static double luby(double y, int i);
+
+  // order heap (max-heap on activity)
+  void heap_insert(Var v);
+  void heap_update(Var v);
+  Var heap_pop();
+  bool heap_in(Var v) const { return heap_pos_[static_cast<std::size_t>(v)] >= 0; }
+  void heap_percolate_up(int i);
+  void heap_percolate_down(int i);
+  bool heap_lt(Var a, Var b) const {
+    return activity_[static_cast<std::size_t>(a)] >
+           activity_[static_cast<std::size_t>(b)];
+  }
+
+  bool ok_ = true;
+  Arena arena_;
+  std::vector<CRef> clauses_;
+  std::vector<CRef> learnts_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
+
+  std::vector<LBool> assigns_;
+  std::vector<VarData> vardata_;
+  std::vector<bool> saved_phase_;
+  std::vector<bool> decision_;
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  float cla_inc_ = 1.0f;
+
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  int qhead_ = 0;
+
+  std::vector<Var> heap_;
+  std::vector<int> heap_pos_;
+
+  std::vector<Lit> assumptions_;
+  std::vector<Lit> conflict_;
+  std::vector<LBool> model_;
+
+  // analyze() scratch
+  std::vector<bool> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_clear_;
+
+  double max_learnts_ = 0;
+  std::int64_t conflict_budget_ = -1;
+  Deadline deadline_;
+  std::uint64_t wasted_ = 0;  // arena words lost to deleted clauses
+
+  Stats stats_;
+};
+
+}  // namespace satdiag::sat

@@ -1,0 +1,56 @@
+// Core SAT types: variables, literals, ternary logic values.
+//
+// Follows the MiniSat conventions: a literal packs (variable << 1 | sign),
+// sign 1 meaning negation, so literals index watch lists directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace satdiag::sat {
+
+using Var = std::int32_t;
+inline constexpr Var kVarUndef = -1;
+
+class Lit {
+ public:
+  constexpr Lit() : x_(-2) {}
+  constexpr Lit(Var v, bool negated) : x_((v << 1) | (negated ? 1 : 0)) {}
+
+  constexpr Var var() const { return x_ >> 1; }
+  constexpr bool sign() const { return x_ & 1; }  // true = negated
+  constexpr int index() const { return x_; }      // watch-list index
+  constexpr Lit operator~() const { return from_index(x_ ^ 1); }
+
+  static constexpr Lit from_index(int idx) {
+    Lit l;
+    l.x_ = idx;
+    return l;
+  }
+  static constexpr Lit undef() { return Lit(); }
+
+  constexpr bool operator==(const Lit&) const = default;
+  constexpr bool operator<(const Lit& other) const { return x_ < other.x_; }
+
+ private:
+  std::int32_t x_;
+};
+
+/// Positive literal of v.
+constexpr Lit pos(Var v) { return Lit(v, false); }
+/// Negative literal of v.
+constexpr Lit neg(Var v) { return Lit(v, true); }
+
+enum class LBool : std::uint8_t { kTrue = 0, kFalse = 1, kUndef = 2 };
+
+constexpr LBool lbool_from(bool b) {
+  return b ? LBool::kTrue : LBool::kFalse;
+}
+constexpr LBool operator^(LBool v, bool flip) {
+  if (v == LBool::kUndef) return v;
+  return (v == LBool::kTrue) != flip ? LBool::kTrue : LBool::kFalse;
+}
+
+using Clause = std::vector<Lit>;
+
+}  // namespace satdiag::sat

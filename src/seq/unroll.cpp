@@ -1,0 +1,82 @@
+#include "seq/unroll.hpp"
+
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace satdiag {
+
+UnrolledCircuit unroll(const Netlist& sequential, std::size_t frames) {
+  assert(sequential.finalized());
+  if (frames == 0) {
+    throw NetlistError("unroll: need at least one frame");
+  }
+  UnrolledCircuit result;
+  result.frames = frames;
+  result.pis_per_frame = sequential.inputs().size();
+  result.pos_per_frame = sequential.outputs().size();
+  result.num_state_inputs = sequential.dffs().size();
+  Netlist& comb = result.comb;
+  comb.set_name(sequential.name() + strprintf("_x%zu", frames));
+
+  // Initial state pseudo-inputs (created first so they lead inputs()).
+  std::vector<GateId> state(sequential.dffs().size());
+  for (std::size_t i = 0; i < sequential.dffs().size(); ++i) {
+    state[i] = comb.add_input(
+        strprintf("%s@init", sequential.gate_name(sequential.dffs()[i]).c_str()));
+  }
+
+  result.frame_gate.resize(frames);
+  for (std::size_t f = 0; f < frames; ++f) {
+    auto& map = result.frame_gate[f];
+    map.assign(sequential.size(), kNoGate);
+    // DFF values for this frame.
+    for (std::size_t i = 0; i < sequential.dffs().size(); ++i) {
+      const GateId dff = sequential.dffs()[i];
+      if (f == 0) {
+        map[dff] = state[i];
+      } else {
+        const GateId prev_data =
+            result.frame_gate[f - 1][sequential.fanins(dff)[0]];
+        map[dff] = comb.add_gate(
+            GateType::kBuf,
+            strprintf("%s@%zu", sequential.gate_name(dff).c_str(), f),
+            {prev_data});
+      }
+    }
+    // Everything else in topological order; DFF data fanins resolve within
+    // the frame, frame boundaries were handled above.
+    for (GateId g : sequential.topo_order()) {
+      if (sequential.type(g) == GateType::kDff) continue;
+      const std::string name =
+          strprintf("%s@%zu", sequential.gate_name(g).c_str(), f);
+      switch (sequential.type(g)) {
+        case GateType::kInput:
+          map[g] = comb.add_input(name);
+          break;
+        case GateType::kConst0:
+          map[g] = comb.add_const(false, name);
+          break;
+        case GateType::kConst1:
+          map[g] = comb.add_const(true, name);
+          break;
+        default: {
+          std::vector<GateId> fanins;
+          fanins.reserve(sequential.fanins(g).size());
+          for (GateId in : sequential.fanins(g)) fanins.push_back(map[in]);
+          map[g] = comb.add_gate(sequential.type(g), name, std::move(fanins));
+          break;
+        }
+      }
+    }
+  }
+  for (std::size_t f = 0; f < frames; ++f) {
+    for (GateId po : sequential.outputs()) {
+      comb.add_output(result.frame_gate[f][po]);
+    }
+  }
+  comb.finalize();
+  return result;
+}
+
+}  // namespace satdiag

@@ -1,0 +1,43 @@
+// Time-frame expansion (iterative logic array).
+//
+// The paper treats sequential ISCAS89 circuits through the full-scan view;
+// its SAT-based reference [4] (Ali et al., ICCAD'04) instead unrolls the
+// sequential circuit over the test sequence's clock cycles. This module
+// provides that substrate: frame 0 exposes the initial state as pseudo
+// inputs, frame f>0 replaces each DFF output by a buffer of the previous
+// frame's data signal, and every frame's primary outputs are observable.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace satdiag {
+
+struct UnrolledCircuit {
+  Netlist comb;  // purely combinational unrolled netlist
+  std::size_t frames = 0;
+
+  /// frame_gate[f][g] = unrolled gate id of original gate g in frame f.
+  /// DFF gates map to their frame-f value holder (pseudo-PI in frame 0,
+  /// buffer of the previous frame's data signal afterwards).
+  std::vector<std::vector<GateId>> frame_gate;
+
+  /// comb.inputs() layout: state_inputs (original DFF order), then
+  /// frame-0 PIs, frame-1 PIs, ... (original PI order within a frame).
+  std::size_t num_state_inputs = 0;
+  std::size_t pis_per_frame = 0;
+
+  /// comb.outputs() layout: frame-major, original PO order within a frame.
+  std::size_t pos_per_frame = 0;
+
+  GateId gate_at(std::size_t frame, GateId original) const {
+    return frame_gate[frame][original];
+  }
+  GateId output_at(std::size_t frame, std::size_t po_index) const {
+    return comb.outputs()[frame * pos_per_frame + po_index];
+  }
+};
+
+/// Unroll `sequential` for `frames` >= 1 clock cycles.
+UnrolledCircuit unroll(const Netlist& sequential, std::size_t frames);
+
+}  // namespace satdiag

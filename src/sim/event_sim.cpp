@@ -1,0 +1,123 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace satdiag {
+
+EventSimulator::EventSimulator(const Netlist& nl) : nl_(&nl) {
+  assert(nl.finalized());
+  const std::size_t n = nl.size();
+  values_.assign(n, 0);
+  baseline_.assign(n, 0);
+  has_value_override_.assign(n, false);
+  value_override_.assign(n, 0);
+  eval_type_.assign(n, GateType::kInput);
+  for (GateId g = 0; g < n; ++g) eval_type_[g] = nl.type(g);
+  level_queue_.resize(nl.depth() + 1);
+  scheduled_.assign(n, false);
+  touched_flag_.assign(n, false);
+}
+
+void EventSimulator::load_baseline(std::span<const std::uint64_t> values) {
+  assert(values.size() == nl_->size());
+  std::copy(values.begin(), values.end(), baseline_.begin());
+  std::copy(values.begin(), values.end(), values_.begin());
+  revert();  // clears overrides/touched bookkeeping against the new baseline
+}
+
+void EventSimulator::set_value_override(GateId g, std::uint64_t word) {
+  if (!has_value_override_[g]) override_trail_.push_back(g);
+  has_value_override_[g] = true;
+  value_override_[g] = word;
+  schedule(g);
+}
+
+void EventSimulator::set_type_override(GateId g, GateType type) {
+  assert(nl_->is_combinational(g));
+  assert(arity_ok(type, nl_->fanins(g).size()));
+  if (eval_type_[g] != type) {
+    override_trail_.push_back(g);
+    eval_type_[g] = type;
+    schedule(g);
+  }
+}
+
+std::uint64_t EventSimulator::evaluate(GateId g) const {
+  const auto fanins = nl_->fanins(g);
+  fanin_buf_.resize(fanins.size());
+  for (std::size_t i = 0; i < fanins.size(); ++i) {
+    fanin_buf_[i] = values_[fanins[i]];
+  }
+  return eval_gate_words(eval_type_[g], fanin_buf_.data(), fanin_buf_.size());
+}
+
+void EventSimulator::schedule(GateId g) {
+  if (!scheduled_[g]) {
+    scheduled_[g] = true;
+    level_queue_[nl_->levels()[g]].push_back(g);
+  }
+}
+
+void EventSimulator::schedule_fanouts(GateId g) {
+  for (GateId out : nl_->fanouts(g)) {
+    if (nl_->is_source(out)) continue;  // stop at the DFF frame boundary
+    schedule(out);
+  }
+}
+
+void EventSimulator::touch(GateId g, std::uint64_t new_value) {
+  if (!touched_flag_[g]) {
+    touched_flag_[g] = true;
+    touched_.push_back(g);
+  }
+  values_[g] = new_value;
+}
+
+void EventSimulator::propagate() {
+  for (std::size_t level = 0; level < level_queue_.size(); ++level) {
+    // Gates are processed strictly level by level; a recomputation can only
+    // schedule strictly higher levels, so a plain sweep terminates.
+    auto& bucket = level_queue_[level];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const GateId g = bucket[i];
+      scheduled_[g] = false;
+      std::uint64_t value =
+          nl_->is_combinational(g) ? evaluate(g) : values_[g];
+      if (has_value_override_[g]) value = value_override_[g];
+      if (value != values_[g]) {
+        touch(g, value);
+        schedule_fanouts(g);
+      } else if (has_value_override_[g] || eval_type_[g] != nl_->type(g)) {
+        // Value unchanged but the gate is overridden: still record it as
+        // touched so revert() restores bookkeeping cheaply.
+        touch(g, value);
+      }
+    }
+    bucket.clear();
+  }
+  changed_.clear();
+  for (GateId g : touched_) {
+    if (values_[g] != baseline_[g]) changed_.push_back(g);
+  }
+}
+
+void EventSimulator::revert() {
+  for (GateId g : touched_) {
+    values_[g] = baseline_[g];
+    touched_flag_[g] = false;
+  }
+  touched_.clear();
+  for (GateId g : override_trail_) {
+    has_value_override_[g] = false;
+    eval_type_[g] = nl_->type(g);
+  }
+  override_trail_.clear();
+  for (auto& bucket : level_queue_) {
+    for (GateId g : bucket) scheduled_[g] = false;
+    bucket.clear();
+  }
+  changed_.clear();
+}
+
+}  // namespace satdiag

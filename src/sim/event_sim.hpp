@@ -1,0 +1,69 @@
+// Event-driven incremental resimulation.
+//
+// Loads a baseline (from a full ParallelSimulator sweep), then propagates
+// value or gate-type overrides through the affected cone only, with O(touched
+// gates) revert. This is the fast what-if engine behind fault simulation and
+// the simulation-side effect analysis of the advanced approaches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace satdiag {
+
+class EventSimulator {
+ public:
+  explicit EventSimulator(const Netlist& nl);
+
+  /// Snapshot `values` (one word per gate) as the baseline state.
+  void load_baseline(std::span<const std::uint64_t> values);
+
+  /// Stage overrides; they take effect on the next propagate().
+  void set_value_override(GateId g, std::uint64_t word);
+  void set_type_override(GateId g, GateType type);
+
+  /// Propagate staged overrides level by level; only touched gates are
+  /// recomputed. Safe to call repeatedly with additional overrides.
+  void propagate();
+
+  /// Restore the baseline and clear all overrides. O(#touched gates).
+  void revert();
+
+  std::uint64_t value(GateId g) const { return values_[g]; }
+
+  /// Gates whose value currently differs from the baseline.
+  const std::vector<GateId>& changed() const { return changed_; }
+
+  /// XOR of current and baseline value (per-pattern difference mask).
+  std::uint64_t diff_mask(GateId g) const {
+    return values_[g] ^ baseline_[g];
+  }
+
+ private:
+  void touch(GateId g, std::uint64_t new_value);
+  void schedule_fanouts(GateId g);
+  void schedule(GateId g);
+  std::uint64_t evaluate(GateId g) const;
+
+  const Netlist* nl_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> baseline_;
+
+  std::vector<bool> has_value_override_;
+  std::vector<std::uint64_t> value_override_;
+  std::vector<GateType> eval_type_;
+  std::vector<GateId> override_trail_;  // gates with any override set
+
+  // Level-bucketed event queue.
+  std::vector<std::vector<GateId>> level_queue_;
+  std::vector<bool> scheduled_;
+  std::vector<GateId> touched_;  // gates written since load/revert
+  std::vector<bool> touched_flag_;
+  std::vector<GateId> changed_;
+  mutable std::vector<std::uint64_t> fanin_buf_;
+};
+
+}  // namespace satdiag

@@ -1,0 +1,105 @@
+#include "sim/sim3.hpp"
+
+#include <cassert>
+
+namespace satdiag {
+
+Val3 eval_gate_val3(GateType type, const Val3* fanins, std::size_t arity) {
+  switch (type) {
+    case GateType::kConst0:
+      return Val3::all(false);
+    case GateType::kConst1:
+      return Val3::all(true);
+    case GateType::kInput:
+    case GateType::kDff:
+      assert(false && "source gates have no combinational function");
+      return Val3::all_x();
+    case GateType::kBuf:
+      return fanins[0];
+    case GateType::kNot:
+      return Val3{fanins[0].zero, fanins[0].one};
+    case GateType::kAnd:
+    case GateType::kNand: {
+      Val3 acc = Val3::all(true);
+      for (std::size_t i = 0; i < arity; ++i) {
+        acc = Val3{acc.one & fanins[i].one, acc.zero | fanins[i].zero};
+      }
+      return type == GateType::kAnd ? acc : Val3{acc.zero, acc.one};
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      Val3 acc = Val3::all(false);
+      for (std::size_t i = 0; i < arity; ++i) {
+        acc = Val3{acc.one | fanins[i].one, acc.zero & fanins[i].zero};
+      }
+      return type == GateType::kOr ? acc : Val3{acc.zero, acc.one};
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      Val3 acc = Val3::all(false);
+      for (std::size_t i = 0; i < arity; ++i) {
+        const Val3& b = fanins[i];
+        acc = Val3{(acc.one & b.zero) | (acc.zero & b.one),
+                   (acc.one & b.one) | (acc.zero & b.zero)};
+      }
+      return type == GateType::kXor ? acc : Val3{acc.zero, acc.one};
+    }
+  }
+  return Val3::all_x();
+}
+
+ThreeValuedSimulator::ThreeValuedSimulator(const Netlist& nl) : nl_(&nl) {
+  assert(nl.finalized());
+  values_.assign(nl.size(), Val3::all_x());
+  x_mask_.assign(nl.size(), 0);
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (nl.type(g) == GateType::kConst0) values_[g] = Val3::all(false);
+    if (nl.type(g) == GateType::kConst1) values_[g] = Val3::all(true);
+  }
+}
+
+void ThreeValuedSimulator::set_source(GateId g, Val3 v) {
+  assert(nl_->is_source(g));
+  values_[g] = v;
+}
+
+void ThreeValuedSimulator::set_input_vector(std::size_t bit,
+                                            const std::vector<bool>& bits) {
+  assert(bit < 64);
+  assert(bits.size() == nl_->inputs().size());
+  const std::uint64_t mask = 1ULL << bit;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    Val3& v = values_[nl_->inputs()[i]];
+    v.one &= ~mask;
+    v.zero &= ~mask;
+    (bits[i] ? v.one : v.zero) |= mask;
+  }
+}
+
+void ThreeValuedSimulator::inject_x(GateId g, std::uint64_t mask) {
+  x_mask_[g] |= mask;
+}
+
+void ThreeValuedSimulator::clear_overrides() {
+  x_mask_.assign(nl_->size(), 0);
+}
+
+void ThreeValuedSimulator::run() {
+  for (GateId g : nl_->topo_order()) {
+    if (nl_->is_combinational(g)) {
+      const auto fanins = nl_->fanins(g);
+      fanin_buf_.resize(fanins.size());
+      for (std::size_t i = 0; i < fanins.size(); ++i) {
+        fanin_buf_[i] = values_[fanins[i]];
+      }
+      values_[g] =
+          eval_gate_val3(nl_->type(g), fanin_buf_.data(), fanin_buf_.size());
+    }
+    if (x_mask_[g]) {
+      values_[g].one &= ~x_mask_[g];
+      values_[g].zero &= ~x_mask_[g];
+    }
+  }
+}
+
+}  // namespace satdiag

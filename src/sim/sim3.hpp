@@ -1,0 +1,62 @@
+// Three-valued (0/1/X) parallel simulation in dual-rail encoding.
+//
+// Each gate carries two 64-bit words: `one` (patterns where the value is
+// definitely 1) and `zero` (definitely 0); a pattern with neither bit set is
+// X. Used by the X-list diagnosis baseline (Boppana et al., DAC'99) and by
+// the simulation-side effect-analysis check: injecting X at a candidate and
+// watching whether the X reaches the erroneous output is the pessimistic
+// version of "can changing this gate affect the output".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace satdiag {
+
+struct Val3 {
+  std::uint64_t one = 0;
+  std::uint64_t zero = 0;
+
+  static Val3 all(bool v) {
+    return v ? Val3{~0ULL, 0ULL} : Val3{0ULL, ~0ULL};
+  }
+  static Val3 all_x() { return Val3{0, 0}; }
+
+  std::uint64_t x_mask() const { return ~(one | zero); }
+  bool is_one(std::size_t bit) const { return (one >> bit) & 1ULL; }
+  bool is_zero(std::size_t bit) const { return (zero >> bit) & 1ULL; }
+  bool is_x(std::size_t bit) const { return (x_mask() >> bit) & 1ULL; }
+
+  friend bool operator==(const Val3&, const Val3&) = default;
+};
+
+/// Dual-rail gate evaluation.
+Val3 eval_gate_val3(GateType type, const Val3* fanins, std::size_t arity);
+
+class ThreeValuedSimulator {
+ public:
+  explicit ThreeValuedSimulator(const Netlist& nl);
+
+  void set_source(GateId g, Val3 v);
+  /// Pattern slot `bit` of every primary input.
+  void set_input_vector(std::size_t bit, const std::vector<bool>& bits);
+
+  /// Force a gate to X (in all pattern slots of `mask`); the override
+  /// survives until clear_overrides().
+  void inject_x(GateId g, std::uint64_t mask = ~0ULL);
+  void clear_overrides();
+
+  void run();
+
+  Val3 value(GateId g) const { return values_[g]; }
+
+ private:
+  const Netlist* nl_;
+  std::vector<Val3> values_;
+  std::vector<std::uint64_t> x_mask_;  // per-gate forced-X pattern mask
+  std::vector<Val3> fanin_buf_;
+};
+
+}  // namespace satdiag

@@ -1,0 +1,76 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace satdiag {
+
+ParallelSimulator::ParallelSimulator(const Netlist& nl) : nl_(&nl) {
+  assert(nl.finalized());
+  values_.assign(nl.size(), 0);
+  has_value_override_.assign(nl.size(), false);
+  value_override_.assign(nl.size(), 0);
+  eval_type_.assign(nl.size(), GateType::kInput);
+  for (GateId g = 0; g < nl.size(); ++g) eval_type_[g] = nl.type(g);
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (nl.type(g) == GateType::kConst1) values_[g] = ~0ULL;
+  }
+}
+
+void ParallelSimulator::set_source(GateId g, std::uint64_t word) {
+  assert(nl_->is_source(g));
+  values_[g] = word;
+}
+
+void ParallelSimulator::set_input_vector(std::size_t bit,
+                                         const std::vector<bool>& bits) {
+  assert(bit < 64);
+  assert(bits.size() == nl_->inputs().size());
+  const std::uint64_t mask = 1ULL << bit;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const GateId g = nl_->inputs()[i];
+    if (bits[i]) {
+      values_[g] |= mask;
+    } else {
+      values_[g] &= ~mask;
+    }
+  }
+}
+
+void ParallelSimulator::set_value_override(GateId g, std::uint64_t word) {
+  has_value_override_[g] = true;
+  value_override_[g] = word;
+}
+
+void ParallelSimulator::set_type_override(GateId g, GateType type) {
+  assert(nl_->is_combinational(g));
+  assert(arity_ok(type, nl_->fanins(g).size()));
+  eval_type_[g] = type;
+}
+
+void ParallelSimulator::clear_overrides() {
+  has_value_override_.assign(nl_->size(), false);
+  for (GateId g = 0; g < nl_->size(); ++g) eval_type_[g] = nl_->type(g);
+}
+
+void ParallelSimulator::run() {
+  for (GateId g : nl_->topo_order()) {
+    if (nl_->is_combinational(g)) {
+      const auto fanins = nl_->fanins(g);
+      fanin_buf_.resize(fanins.size());
+      for (std::size_t i = 0; i < fanins.size(); ++i) {
+        fanin_buf_[i] = values_[fanins[i]];
+      }
+      values_[g] =
+          eval_gate_words(eval_type_[g], fanin_buf_.data(), fanin_buf_.size());
+    }
+    if (has_value_override_[g]) values_[g] = value_override_[g];
+  }
+}
+
+void ParallelSimulator::step_state() {
+  for (GateId d : nl_->dffs()) {
+    values_[d] = values_[nl_->fanins(d)[0]];
+  }
+}
+
+}  // namespace satdiag

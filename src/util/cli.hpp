@@ -1,0 +1,36 @@
+// Tiny flag parser for the example and bench executables.
+//
+// Supports `--name value` and `--name=value`; unknown flags are reported so a
+// typo cannot silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace satdiag {
+
+class CliArgs {
+ public:
+  /// Parses argv; returns false (and fills `error`) on malformed input.
+  bool parse(int argc, const char* const* argv, std::string& error);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name, std::string def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Flags that were parsed but never queried (typo detection for drivers).
+  std::vector<std::string> unused() const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace satdiag

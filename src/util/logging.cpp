@@ -1,0 +1,34 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace satdiag {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[satdiag %s] %s\n", level_tag(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace satdiag

@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// The library itself is quiet by default; diagnosis drivers and benches raise
+// the level to Info to narrate progress. Not thread-safe by design: every
+// algorithm in satdiag is single-threaded (the paper's engines are too).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace satdiag {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Global log verbosity; messages above this level are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace satdiag
+
+#define SATDIAG_LOG(level)                            \
+  if (static_cast<int>(level) <=                      \
+      static_cast<int>(::satdiag::log_level()))       \
+  ::satdiag::detail::LogLine(level)
+
+#define SATDIAG_ERROR() SATDIAG_LOG(::satdiag::LogLevel::kError)
+#define SATDIAG_WARN() SATDIAG_LOG(::satdiag::LogLevel::kWarn)
+#define SATDIAG_INFO() SATDIAG_LOG(::satdiag::LogLevel::kInfo)
+#define SATDIAG_DEBUG() SATDIAG_LOG(::satdiag::LogLevel::kDebug)

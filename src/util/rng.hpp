@@ -1,0 +1,58 @@
+// Deterministic, seedable random number generation (xoshiro256**).
+//
+// Every stochastic component in satdiag (circuit generation, error injection,
+// test generation, tie-breaking policies) draws from an explicitly passed Rng
+// so that experiments are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace satdiag {
+
+/// xoshiro256** 1.0 by Blackman & Vigna, seeded through SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias; bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli(p).
+  bool next_bool(double p = 0.5);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Pick a uniformly random element index; container must be non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[static_cast<std::size_t>(next_below(items.size()))];
+  }
+
+  /// Derive an independent child stream (for per-component sub-seeding).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace satdiag

@@ -1,0 +1,2 @@
+// Summary is header-only; this TU anchors the library target.
+#include "util/stats.hpp"

@@ -1,0 +1,28 @@
+// Small string helpers shared by the .bench parser and CLI handling.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace satdiag {
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields are kept.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Uppercase copy (ASCII).
+std::string to_upper(std::string_view s);
+
+/// True when `s` parses entirely as a non-negative integer.
+bool parse_uint(std::string_view s, std::uint64_t& out);
+
+/// printf-style formatting into std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace satdiag

@@ -1,0 +1,35 @@
+// Column-aligned plain-text tables, used by the bench binaries to print the
+// same row layout the paper's Tables 2 and 3 use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace satdiag {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with single-space padding and a header separator line.
+  std::string to_string() const;
+
+  /// Comma-separated form for downstream plotting.
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format seconds the way the paper's runtime tables do ("0.01", "34.21").
+std::string format_seconds(double s);
+
+/// Format a double with two decimals, or "-" for NaN.
+std::string format_stat(double v);
+
+}  // namespace satdiag

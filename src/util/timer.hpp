@@ -1,0 +1,57 @@
+// Wall-clock timing and per-call budgets.
+//
+// The paper limits every diagnosis run to 30 CPU-minutes; Deadline mirrors
+// that methodology so benches can report "DNF" cells instead of hanging.
+#pragma once
+
+#include <chrono>
+
+namespace satdiag {
+
+/// Monotonic stopwatch, started at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget. A default-constructed Deadline never expires.
+class Deadline {
+ public:
+  Deadline() = default;
+  static Deadline after_seconds(double s) {
+    Deadline d;
+    d.limited_ = true;
+    d.end_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(s));
+    return d;
+  }
+
+  bool expired() const { return limited_ && Clock::now() >= end_; }
+  bool limited() const { return limited_; }
+
+  /// Remaining seconds (infinity-ish large value when unlimited).
+  double remaining_seconds() const {
+    if (!limited_) return 1e30;
+    return std::chrono::duration<double>(end_ - Clock::now()).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool limited_ = false;
+  Clock::time_point end_{};
+};
+
+}  // namespace satdiag

@@ -1,0 +1,140 @@
+#include "cnf/tseitin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench/builtin_circuits.hpp"
+#include "gen/generator.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace satdiag {
+namespace {
+
+using sat::LBool;
+using sat::Lit;
+using sat::Solver;
+
+// Property: for random input assignments, constraining the encoded inputs
+// and solving yields exactly the simulated values on every gate.
+void check_encoding_matches_simulation(const Netlist& nl, std::uint64_t seed) {
+  Solver solver;
+  const CircuitEncoding enc = encode_circuit(solver, nl);
+  Rng rng(seed);
+
+  ParallelSimulator sim(nl);
+  std::vector<Lit> assumptions;
+  for (GateId in : nl.inputs()) {
+    const bool v = rng.next_bool();
+    sim.set_source(in, v ? ~0ULL : 0ULL);
+    assumptions.push_back(enc.lit(in, /*negated=*/!v));
+  }
+  sim.run();
+  ASSERT_EQ(solver.solve(assumptions), LBool::kTrue);
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (nl.type(g) == GateType::kDff) continue;
+    const bool sim_value = sim.value_bit(g, 0);
+    EXPECT_EQ(solver.model_value(enc.gate_var[g]) == LBool::kTrue, sim_value)
+        << "gate " << nl.gate_name(g);
+  }
+}
+
+TEST(TseitinTest, C17MatchesSimulation) {
+  const Netlist c17 = builtin_c17();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    check_encoding_matches_simulation(c17, seed);
+  }
+}
+
+TEST(TseitinTest, RandomCircuitMatchesSimulation) {
+  GeneratorParams params;
+  params.num_inputs = 8;
+  params.num_outputs = 4;
+  params.num_gates = 120;
+  params.xor_fraction = 0.3;  // stress the XOR chain encoding
+  params.seed = 5;
+  const Netlist nl = generate_circuit(params);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    check_encoding_matches_simulation(nl, seed);
+  }
+}
+
+TEST(TseitinTest, ConstantsEncodedAsUnits) {
+  Netlist nl;
+  const GateId c0 = nl.add_const(false, "c0");
+  const GateId c1 = nl.add_const(true, "c1");
+  const GateId g = nl.add_gate(GateType::kXor, "g", {c0, c1});
+  nl.add_output(g);
+  nl.finalize();
+  Solver solver;
+  const CircuitEncoding enc = encode_circuit(solver, nl);
+  ASSERT_EQ(solver.solve(), LBool::kTrue);
+  EXPECT_EQ(solver.model_value(enc.gate_var[c0]), LBool::kFalse);
+  EXPECT_EQ(solver.model_value(enc.gate_var[c1]), LBool::kTrue);
+  EXPECT_EQ(solver.model_value(enc.gate_var[g]), LBool::kTrue);
+}
+
+TEST(TseitinTest, EncodeGateFunctionAllTypesExhaustive) {
+  // For every 2-input gate type, check all 4 input combinations by solving
+  // with assumptions and comparing against eval_gate.
+  for (GateType type : {GateType::kAnd, GateType::kNand, GateType::kOr,
+                        GateType::kNor, GateType::kXor, GateType::kXnor}) {
+    Solver solver;
+    const sat::Var a = solver.new_var();
+    const sat::Var b = solver.new_var();
+    const sat::Var o = solver.new_var();
+    const std::vector<Lit> ins{sat::pos(a), sat::pos(b)};
+    encode_gate_function(solver, type, sat::pos(o), ins);
+    for (int mask = 0; mask < 4; ++mask) {
+      const bool va = mask & 1;
+      const bool vb = mask & 2;
+      std::vector<Lit> assume{Lit(a, !va), Lit(b, !vb)};
+      ASSERT_EQ(solver.solve(assume), LBool::kTrue);
+      EXPECT_EQ(solver.model_value(o) == LBool::kTrue,
+                eval_gate(type, {va, vb}))
+          << gate_type_name(type) << " mask " << mask;
+    }
+  }
+}
+
+TEST(TseitinTest, WideXorEncoding) {
+  Solver solver;
+  std::vector<Lit> ins;
+  std::vector<sat::Var> vars;
+  for (int i = 0; i < 5; ++i) {
+    vars.push_back(solver.new_var());
+    ins.push_back(sat::pos(vars.back()));
+  }
+  const sat::Var o = solver.new_var();
+  encode_gate_function(solver, GateType::kXor, sat::pos(o), ins);
+  // Parity of 5 inputs, spot-check a few assignments.
+  for (std::uint32_t mask : {0u, 1u, 0b10101u, 0b11111u, 0b01110u}) {
+    std::vector<Lit> assume;
+    int ones = 0;
+    for (int i = 0; i < 5; ++i) {
+      const bool v = (mask >> i) & 1;
+      ones += v;
+      assume.push_back(Lit(vars[static_cast<std::size_t>(i)], !v));
+    }
+    ASSERT_EQ(solver.solve(assume), LBool::kTrue);
+    EXPECT_EQ(solver.model_value(o) == LBool::kTrue, ones % 2 == 1);
+  }
+}
+
+TEST(TseitinTest, InternalDecisionsFlagKeepsEquivalence) {
+  const Netlist c17 = builtin_c17();
+  Solver solver;
+  const CircuitEncoding enc = encode_circuit(solver, c17,
+                                             /*internal_decisions=*/false);
+  // Fix inputs; every internal value must still be implied.
+  std::vector<Lit> assumptions;
+  for (GateId in : c17.inputs()) {
+    assumptions.push_back(enc.lit(in, /*negated=*/false));
+  }
+  ASSERT_EQ(solver.solve(assumptions), LBool::kTrue);
+  for (GateId g = 0; g < c17.size(); ++g) {
+    EXPECT_NE(solver.model_value(enc.gate_var[g]), LBool::kUndef);
+  }
+}
+
+}  // namespace
+}  // namespace satdiag

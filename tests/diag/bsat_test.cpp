@@ -1,0 +1,238 @@
+#include "diag/bsat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "diag/effect.hpp"
+#include "fault/injector.hpp"
+#include "fault/testgen.hpp"
+#include "gen/generator.hpp"
+#include "netlist/scan.hpp"
+
+namespace satdiag {
+namespace {
+
+struct Scenario {
+  Netlist golden;
+  Netlist faulty;
+  ErrorList errors;
+  TestSet tests;
+};
+
+Scenario make_scenario(std::uint64_t seed, std::size_t errors_n,
+                       std::size_t tests_n, std::size_t gates = 120) {
+  GeneratorParams params;
+  params.num_inputs = 8;
+  params.num_outputs = 4;
+  params.num_dffs = 5;
+  params.num_gates = gates;
+  params.seed = seed;
+  Scenario s;
+  s.golden = make_full_scan(generate_circuit(params)).comb;
+  Rng rng(seed * 1009 + 11);
+  InjectorOptions inject;
+  inject.num_errors = errors_n;
+  auto errors = inject_errors(s.golden, rng, inject);
+  EXPECT_TRUE(errors.has_value());
+  s.errors = *errors;
+  s.faulty = apply_errors(s.golden, s.errors);
+  s.tests = generate_failing_tests(s.golden, s.errors, tests_n, rng);
+  EXPECT_GE(s.tests.size(), 1u);
+  return s;
+}
+
+TEST(BsatTest, FindsTheInjectedSingleError) {
+  const Scenario s = make_scenario(1, 1, 8);
+  BsatOptions options;
+  options.k = 1;
+  const BsatResult result = basic_sat_diagnose(s.faulty, s.tests, options);
+  ASSERT_TRUE(result.complete);
+  ASSERT_FALSE(result.solutions.empty());
+  // The actual error site must be among the corrections: changing the gate
+  // back to its golden function rectifies every test, so {site} is a valid
+  // correction of size 1 and Lemma 3 guarantees it is enumerated.
+  const GateId site = error_site(s.errors[0]);
+  bool found = false;
+  for (const auto& solution : result.solutions) {
+    found |= solution == std::vector<GateId>{site};
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BsatTest, AllSolutionsValidAndEssential) {
+  const Scenario s = make_scenario(2, 1, 6);
+  BsatOptions options;
+  options.k = 1;
+  const BsatResult result = basic_sat_diagnose(s.faulty, s.tests, options);
+  ASSERT_TRUE(result.complete);
+  EffectAnalyzer effect(s.faulty, s.tests);
+  for (const auto& solution : result.solutions) {
+    EXPECT_TRUE(effect.is_valid_correction(solution));
+    EXPECT_EQ(solution.size(), 1u);
+  }
+}
+
+TEST(BsatTest, DoubleErrorCoveredAtKTwo) {
+  const Scenario s = make_scenario(3, 2, 8);
+  BsatOptions options;
+  options.k = 2;
+  const BsatResult result = basic_sat_diagnose(s.faulty, s.tests, options);
+  ASSERT_TRUE(result.complete);
+  ASSERT_FALSE(result.solutions.empty());
+  // Either the pair of real sites (or a subset if one site alone suffices)
+  // must appear among the solutions.
+  const auto sites = error_sites(s.errors);
+  bool found = false;
+  for (const auto& solution : result.solutions) {
+    const bool subset_of_sites = std::includes(
+        sites.begin(), sites.end(), solution.begin(), solution.end());
+    found |= subset_of_sites;
+  }
+  EXPECT_TRUE(found);
+  EffectAnalyzer effect(s.faulty, s.tests);
+  for (const auto& solution : result.solutions) {
+    EXPECT_TRUE(effect.is_valid_correction(solution));
+    EXPECT_LE(solution.size(), 2u);
+  }
+}
+
+TEST(BsatTest, SolutionsAreUniqueAndSorted) {
+  const Scenario s = make_scenario(4, 1, 6);
+  BsatOptions options;
+  options.k = 2;
+  const BsatResult result = basic_sat_diagnose(s.faulty, s.tests, options);
+  std::set<std::vector<GateId>> unique(result.solutions.begin(),
+                                       result.solutions.end());
+  EXPECT_EQ(unique.size(), result.solutions.size());
+  for (const auto& solution : result.solutions) {
+    EXPECT_TRUE(std::is_sorted(solution.begin(), solution.end()));
+  }
+}
+
+TEST(BsatTest, NoSupersetSolutions) {
+  // Lemma 3: no returned correction contains another returned correction.
+  const Scenario s = make_scenario(5, 2, 8);
+  BsatOptions options;
+  options.k = 2;
+  const BsatResult result = basic_sat_diagnose(s.faulty, s.tests, options);
+  ASSERT_TRUE(result.complete);
+  for (std::size_t i = 0; i < result.solutions.size(); ++i) {
+    for (std::size_t j = 0; j < result.solutions.size(); ++j) {
+      if (i == j) continue;
+      const auto& small = result.solutions[i];
+      const auto& big = result.solutions[j];
+      if (small.size() >= big.size()) continue;
+      EXPECT_FALSE(std::includes(big.begin(), big.end(), small.begin(),
+                                 small.end()))
+          << "solution " << j << " is a superset of " << i;
+    }
+  }
+}
+
+TEST(BsatTest, MoreTestsNarrowSolutions) {
+  const Scenario s = make_scenario(6, 1, 16);
+  BsatOptions options;
+  options.k = 1;
+  const TestSet few(s.tests.begin(), s.tests.begin() + 2);
+  const BsatResult small = basic_sat_diagnose(s.faulty, few, options);
+  const BsatResult large = basic_sat_diagnose(s.faulty, s.tests, options);
+  ASSERT_TRUE(small.complete);
+  ASSERT_TRUE(large.complete);
+  // Every correction valid for the full set is valid for the subset, so the
+  // solution count cannot grow (for fixed k=1 and the same single output
+  // pool this holds set-wise).
+  const std::set<std::vector<GateId>> small_set(small.solutions.begin(),
+                                                small.solutions.end());
+  for (const auto& solution : large.solutions) {
+    EXPECT_TRUE(small_set.count(solution))
+        << "k=1 solution for 16 tests missing for 2-test subset";
+  }
+  EXPECT_GE(small.solutions.size(), large.solutions.size());
+}
+
+TEST(BsatTest, GatingClausesDoNotChangeSolutions) {
+  const Scenario s = make_scenario(7, 1, 6);
+  BsatOptions with;
+  with.k = 1;
+  with.instance.gating_clauses = true;
+  BsatOptions without = with;
+  without.instance.gating_clauses = false;
+  const BsatResult a = basic_sat_diagnose(s.faulty, s.tests, with);
+  const BsatResult b = basic_sat_diagnose(s.faulty, s.tests, without);
+  ASSERT_TRUE(a.complete);
+  ASSERT_TRUE(b.complete);
+  EXPECT_EQ(std::set<std::vector<GateId>>(a.solutions.begin(), a.solutions.end()),
+            std::set<std::vector<GateId>>(b.solutions.begin(), b.solutions.end()));
+}
+
+TEST(BsatTest, CardEncodingsAgree) {
+  const Scenario s = make_scenario(8, 2, 6);
+  std::set<std::vector<GateId>> reference;
+  for (CardEncoding enc :
+       {CardEncoding::kSequential, CardEncoding::kTotalizer}) {
+    BsatOptions options;
+    options.k = 2;
+    options.instance.card_encoding = enc;
+    const BsatResult result = basic_sat_diagnose(s.faulty, s.tests, options);
+    ASSERT_TRUE(result.complete);
+    std::set<std::vector<GateId>> got(result.solutions.begin(),
+                                      result.solutions.end());
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      EXPECT_EQ(reference, got) << card_encoding_name(enc);
+    }
+  }
+}
+
+TEST(BsatTest, ActivitySeedKeepsSolutionSpace) {
+  const Scenario s = make_scenario(9, 1, 6);
+  BsatOptions plain;
+  plain.k = 1;
+  const BsatResult a = basic_sat_diagnose(s.faulty, s.tests, plain);
+
+  BsatOptions seeded = plain;
+  seeded.select_activity_seed.assign(s.faulty.size(), 0);
+  seeded.select_activity_seed[error_site(s.errors[0])] = 100;
+  const BsatResult b = basic_sat_diagnose(s.faulty, s.tests, seeded);
+  ASSERT_TRUE(a.complete);
+  ASSERT_TRUE(b.complete);
+  EXPECT_EQ(std::set<std::vector<GateId>>(a.solutions.begin(), a.solutions.end()),
+            std::set<std::vector<GateId>>(b.solutions.begin(), b.solutions.end()));
+}
+
+TEST(BsatTest, DeadlineTruncatesGracefully) {
+  const Scenario s = make_scenario(10, 2, 8, /*gates=*/200);
+  BsatOptions options;
+  options.k = 2;
+  options.deadline = Deadline::after_seconds(-1.0);  // already expired
+  const BsatResult result = basic_sat_diagnose(s.faulty, s.tests, options);
+  EXPECT_FALSE(result.complete);
+  EXPECT_TRUE(result.solutions.empty());
+}
+
+TEST(BsatTest, MaxSolutionsTruncates) {
+  const Scenario s = make_scenario(11, 1, 4);
+  BsatOptions options;
+  options.k = 2;
+  options.max_solutions = 1;
+  const BsatResult result = basic_sat_diagnose(s.faulty, s.tests, options);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.solutions.size(), 1u);
+}
+
+TEST(BsatTest, InstanceSizeReported) {
+  const Scenario s = make_scenario(12, 1, 4);
+  BsatOptions options;
+  options.k = 1;
+  const BsatResult result = basic_sat_diagnose(s.faulty, s.tests, options);
+  // Theta(|I| * m) variables (paper Table 1): at least one var per gate per
+  // test copy.
+  EXPECT_GE(result.num_vars, s.faulty.size() * s.tests.size());
+  EXPECT_GT(result.num_clauses, 0u);
+}
+
+}  // namespace
+}  // namespace satdiag

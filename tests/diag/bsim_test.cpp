@@ -1,0 +1,146 @@
+#include "diag/bsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fault/injector.hpp"
+#include "fault/testgen.hpp"
+#include "gen/generator.hpp"
+#include "netlist/scan.hpp"
+
+namespace satdiag {
+namespace {
+
+struct Scenario {
+  Netlist golden;
+  Netlist faulty;
+  ErrorList errors;
+  TestSet tests;
+};
+
+Scenario make_scenario(std::uint64_t seed, std::size_t errors_n,
+                       std::size_t tests_n) {
+  GeneratorParams params;
+  params.num_inputs = 10;
+  params.num_outputs = 6;
+  params.num_dffs = 8;
+  params.num_gates = 250;
+  params.seed = seed;
+  Scenario s;
+  s.golden = make_full_scan(generate_circuit(params)).comb;
+  Rng rng(seed * 31 + 7);
+  InjectorOptions inject;
+  inject.num_errors = errors_n;
+  auto errors = inject_errors(s.golden, rng, inject);
+  EXPECT_TRUE(errors.has_value());
+  s.errors = *errors;
+  s.faulty = apply_errors(s.golden, s.errors);
+  s.tests = generate_failing_tests(s.golden, s.errors, tests_n, rng);
+  EXPECT_EQ(s.tests.size(), tests_n);
+  return s;
+}
+
+TEST(BsimTest, OneCandidateSetPerTest) {
+  const Scenario s = make_scenario(1, 1, 8);
+  const BsimResult result = basic_sim_diagnose(s.faulty, s.tests);
+  EXPECT_EQ(result.candidate_sets.size(), 8u);
+  for (const auto& set : result.candidate_sets) {
+    EXPECT_FALSE(set.empty());
+  }
+}
+
+TEST(BsimTest, MarkCountsConsistentWithSets) {
+  const Scenario s = make_scenario(2, 2, 12);
+  const BsimResult result = basic_sim_diagnose(s.faulty, s.tests);
+  std::vector<std::uint32_t> recount(s.faulty.size(), 0);
+  for (const auto& set : result.candidate_sets) {
+    for (GateId g : set) ++recount[g];
+  }
+  EXPECT_EQ(recount, result.mark_count);
+}
+
+TEST(BsimTest, UnionIsUnionOfSets) {
+  const Scenario s = make_scenario(3, 1, 8);
+  const BsimResult result = basic_sim_diagnose(s.faulty, s.tests);
+  std::vector<GateId> expected;
+  for (const auto& set : result.candidate_sets) {
+    expected.insert(expected.end(), set.begin(), set.end());
+  }
+  std::sort(expected.begin(), expected.end());
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+  EXPECT_EQ(result.marked_union, expected);
+}
+
+TEST(BsimTest, GmaxHasMaximalCount) {
+  const Scenario s = make_scenario(4, 2, 16);
+  const BsimResult result = basic_sim_diagnose(s.faulty, s.tests);
+  ASSERT_FALSE(result.gmax.empty());
+  for (GateId g : result.gmax) {
+    EXPECT_EQ(result.mark_count[g], result.max_marks);
+  }
+  for (GateId g : result.marked_union) {
+    EXPECT_LE(result.mark_count[g], result.max_marks);
+  }
+}
+
+// The paper (citing Kuehlmann et al.): at least one actual error site is
+// marked by more than m/p tests. For a single error the error site is in
+// EVERY candidate set — the classic single-error intersection property
+// (requires the trace to walk sensitized paths, which contain the site).
+TEST(BsimTest, SingleErrorSiteMarkedOften) {
+  int hits = 0;
+  int rounds = 0;
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    const Scenario s = make_scenario(seed, 1, 16);
+    const BsimResult result = basic_sim_diagnose(s.faulty, s.tests);
+    const GateId site = error_site(s.errors[0]);
+    ++rounds;
+    // The site should be marked by strictly more than m/p = m tests... i.e.
+    // by all of them it cannot be guaranteed; count how often it is marked
+    // by > m/2 (a loose version of the m/p bound for p=1 noted in Sec 2.2,
+    // where the guarantee is > m/p only for SOME error site, p=1 -> > m).
+    if (result.mark_count[site] * 2 > s.tests.size()) ++hits;
+  }
+  // In almost all experiments the bound holds (paper Sec. 6 observes this).
+  EXPECT_GE(hits, rounds - 1);
+}
+
+TEST(BsimTest, MultiErrorAtLeastOneSiteAboveBound) {
+  // "at least one actual error site is marked by more than m/p tests".
+  for (std::uint64_t seed = 20; seed < 24; ++seed) {
+    const Scenario s = make_scenario(seed, 2, 16);
+    const BsimResult result = basic_sim_diagnose(s.faulty, s.tests);
+    const double bound =
+        static_cast<double>(s.tests.size()) / static_cast<double>(s.errors.size());
+    bool any = false;
+    for (GateId site : error_sites(s.errors)) {
+      any |= static_cast<double>(result.mark_count[site]) > bound;
+    }
+    EXPECT_TRUE(any) << "seed " << seed;
+  }
+}
+
+TEST(BsimTest, MoreTestsMarkMoreGates) {
+  // Monotone in expectation; verify with same scenario different prefixes.
+  const Scenario s = make_scenario(30, 1, 32);
+  const TestSet few(s.tests.begin(), s.tests.begin() + 4);
+  const BsimResult small = basic_sim_diagnose(s.faulty, few);
+  const BsimResult large = basic_sim_diagnose(s.faulty, s.tests);
+  EXPECT_GE(large.marked_union.size(), small.marked_union.size());
+}
+
+TEST(BsimTest, BatchBoundaryAt64Tests) {
+  // More than 64 tests exercises the two-batch path.
+  const Scenario s = make_scenario(40, 1, 70);
+  const BsimResult result = basic_sim_diagnose(s.faulty, s.tests);
+  EXPECT_EQ(result.candidate_sets.size(), 70u);
+  // Cross-check a set from the second batch against a fresh single run.
+  const BsimResult single = basic_sim_diagnose(
+      s.faulty, TestSet{s.tests[65]});
+  EXPECT_EQ(result.candidate_sets[65], single.candidate_sets[0]);
+}
+
+}  // namespace
+}  // namespace satdiag

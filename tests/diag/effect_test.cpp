@@ -1,0 +1,116 @@
+#include "diag/effect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench/builtin_circuits.hpp"
+#include "fault/injector.hpp"
+#include "fault/testgen.hpp"
+#include "gen/generator.hpp"
+#include "netlist/scan.hpp"
+
+namespace satdiag {
+namespace {
+
+TEST(EffectTest, OutputGateIsAlwaysValidForItsOwnTests) {
+  // Changing the function of the erroneous output gate itself can always
+  // produce the demanded value (single-output tests).
+  const FigureScenario s = builtin_fig5a();
+  const TestSet tests{satdiag::Test{s.test_vector, s.output_index, s.correct_value}};
+  EffectAnalyzer effect(s.circuit, tests);
+  EXPECT_TRUE(effect.is_valid_correction({s.circuit.find("D")}));
+}
+
+TEST(EffectTest, EmptyCandidateIsInvalidForFailingTest) {
+  const FigureScenario s = builtin_fig5a();
+  const TestSet tests{satdiag::Test{s.test_vector, s.output_index, s.correct_value}};
+  EffectAnalyzer effect(s.circuit, tests);
+  EXPECT_FALSE(effect.is_valid_correction({}));
+}
+
+TEST(EffectTest, InjectedErrorSiteIsValidCorrection) {
+  GeneratorParams params;
+  params.num_inputs = 8;
+  params.num_outputs = 4;
+  params.num_gates = 100;
+  params.seed = 77;
+  const Netlist golden = make_full_scan(generate_circuit(params)).comb;
+  Rng rng(7);
+  InjectorOptions inject;
+  inject.num_errors = 1;
+  const auto errors = inject_errors(golden, rng, inject);
+  ASSERT_TRUE(errors.has_value());
+  const Netlist faulty = apply_errors(golden, *errors);
+  const TestSet tests = generate_failing_tests(golden, *errors, 8, rng);
+  ASSERT_FALSE(tests.empty());
+  EffectAnalyzer effect(faulty, tests);
+  EXPECT_TRUE(effect.is_valid_correction({error_site(errors->front())}));
+}
+
+TEST(EffectTest, XCheckIsNecessaryCondition) {
+  const FigureScenario s = builtin_fig5b();
+  const TestSet tests{satdiag::Test{s.test_vector, s.output_index, s.correct_value}};
+  EffectAnalyzer effect(s.circuit, tests);
+  // Valid corrections must pass the X check...
+  for (const std::vector<GateId>& valid :
+       {std::vector<GateId>{s.circuit.find("D")},
+        std::vector<GateId>{s.circuit.find("E")},
+        std::vector<GateId>{s.circuit.find("A"), s.circuit.find("B")}}) {
+    ASSERT_TRUE(effect.is_valid_correction(valid));
+    EXPECT_TRUE(effect.x_check(valid));
+  }
+  // ...an invalid candidate may or may not pass; a gate outside the output
+  // cone never passes.
+  EXPECT_FALSE(effect.x_check({}));
+}
+
+TEST(EffectTest, XCheckPassesButSatRejects) {
+  // Fig 5(a): injecting X at B reaches the output (B feeds D), but {B} is
+  // not a valid correction — demonstrating the check is only necessary.
+  const FigureScenario s = builtin_fig5a();
+  const TestSet tests{satdiag::Test{s.test_vector, s.output_index, s.correct_value}};
+  EffectAnalyzer effect(s.circuit, tests);
+  EXPECT_FALSE(effect.is_valid_correction({s.circuit.find("B")}));
+  EXPECT_FALSE(effect.x_check({s.circuit.find("B")}))
+      << "X at B is blocked by C=0 at the AND, so even the X check fails "
+         "here";
+  // A gate pair that floods the output with X but still cannot fix it is
+  // hard to build deterministically; assert at least consistency:
+  for (GateId g = 0; g < s.circuit.size(); ++g) {
+    if (!s.circuit.is_combinational(g)) continue;
+    if (effect.is_valid_correction({g})) {
+      EXPECT_TRUE(effect.x_check({g}));
+    }
+  }
+}
+
+TEST(EffectTest, ChecksPerformedCounter) {
+  const FigureScenario s = builtin_fig5a();
+  const TestSet tests{satdiag::Test{s.test_vector, s.output_index, s.correct_value}};
+  EffectAnalyzer effect(s.circuit, tests);
+  EXPECT_EQ(effect.checks_performed(), 0u);
+  effect.is_valid_correction({s.circuit.find("A")});
+  effect.is_valid_correction({s.circuit.find("B")});
+  EXPECT_EQ(effect.checks_performed(), 2u);
+}
+
+TEST(EffectTest, MultiTestValidity) {
+  // Two tests demanding opposite outputs: only gates feeding the output on
+  // both sensitized paths qualify.
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId g = nl.add_gate(GateType::kBuf, "g", {a});
+  const GateId o = nl.add_gate(GateType::kBuf, "o", {g});
+  nl.add_output(o);
+  nl.finalize();
+  const TestSet tests{
+      satdiag::Test{{true}, 0, false},
+      satdiag::Test{{false}, 0, true},
+  };
+  EffectAnalyzer effect(nl, tests);
+  EXPECT_TRUE(effect.is_valid_correction({g}));
+  EXPECT_TRUE(effect.is_valid_correction({o}));
+  EXPECT_FALSE(effect.is_valid_correction({}));
+}
+
+}  // namespace
+}  // namespace satdiag

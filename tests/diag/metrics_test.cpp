@@ -1,0 +1,102 @@
+#include "diag/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace satdiag {
+namespace {
+
+// Chain: a -> g1 -> g2 -> g3 -> out(g4), error at g2.
+Netlist chain() {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId g1 = nl.add_gate(GateType::kBuf, "g1", {a});
+  const GateId g2 = nl.add_gate(GateType::kNot, "g2", {g1});
+  const GateId g3 = nl.add_gate(GateType::kBuf, "g3", {g2});
+  const GateId g4 = nl.add_gate(GateType::kNot, "g4", {g3});
+  nl.add_output(g4);
+  nl.finalize();
+  return nl;
+}
+
+TEST(MetricsTest, DistancesFromErrorSite) {
+  const Netlist nl = chain();
+  const auto dist = distances_to_errors(nl, {nl.find("g2")});
+  EXPECT_EQ(dist[nl.find("g2")], 0u);
+  EXPECT_EQ(dist[nl.find("g1")], 1u);
+  EXPECT_EQ(dist[nl.find("g3")], 1u);
+  EXPECT_EQ(dist[nl.find("g4")], 2u);
+}
+
+TEST(MetricsTest, BsimQualityAggregates) {
+  const Netlist nl = chain();
+  BsimResult bsim;
+  bsim.mark_count.assign(nl.size(), 0);
+  bsim.candidate_sets = {{nl.find("g2"), nl.find("g3"), nl.find("g4")},
+                         {nl.find("g3"), nl.find("g4")}};
+  for (const auto& set : bsim.candidate_sets) {
+    for (GateId g : set) ++bsim.mark_count[g];
+  }
+  bsim.marked_union = {nl.find("g2"), nl.find("g3"), nl.find("g4")};
+  bsim.max_marks = 2;
+  bsim.gmax = {nl.find("g3"), nl.find("g4")};
+
+  const BsimQuality q =
+      evaluate_bsim_quality(nl, bsim, {nl.find("g2")});
+  EXPECT_EQ(q.union_size, 3u);
+  // distances: g2=0, g3=1, g4=2 -> avgA = 1.0
+  EXPECT_DOUBLE_EQ(q.avg_all, 1.0);
+  EXPECT_EQ(q.gmax_size, 2u);
+  EXPECT_DOUBLE_EQ(q.min_g, 1.0);
+  EXPECT_DOUBLE_EQ(q.max_g, 2.0);
+  EXPECT_DOUBLE_EQ(q.avg_g, 1.5);
+  EXPECT_FALSE(q.error_in_gmax);
+}
+
+TEST(MetricsTest, ErrorInGmaxDetected) {
+  const Netlist nl = chain();
+  BsimResult bsim;
+  bsim.mark_count.assign(nl.size(), 0);
+  bsim.marked_union = {nl.find("g2")};
+  bsim.gmax = {nl.find("g2")};
+  bsim.max_marks = 1;
+  const BsimQuality q = evaluate_bsim_quality(nl, bsim, {nl.find("g2")});
+  EXPECT_TRUE(q.error_in_gmax);
+  EXPECT_DOUBLE_EQ(q.min_g, 0.0);
+}
+
+TEST(MetricsTest, SolutionQualityPerSolutionAverages) {
+  const Netlist nl = chain();
+  const std::vector<std::vector<GateId>> solutions{
+      {nl.find("g2")},                 // avg distance 0
+      {nl.find("g3"), nl.find("g4")},  // avg distance 1.5
+  };
+  const SolutionSetQuality q =
+      evaluate_solution_quality(nl, solutions, {nl.find("g2")});
+  EXPECT_EQ(q.num_solutions, 2u);
+  EXPECT_DOUBLE_EQ(q.min_avg, 0.0);
+  EXPECT_DOUBLE_EQ(q.max_avg, 1.5);
+  EXPECT_DOUBLE_EQ(q.mean_avg, 0.75);
+  EXPECT_DOUBLE_EQ(q.hit_rate, 0.5);
+}
+
+TEST(MetricsTest, EmptySolutionSet) {
+  const Netlist nl = chain();
+  const SolutionSetQuality q =
+      evaluate_solution_quality(nl, {}, {nl.find("g2")});
+  EXPECT_EQ(q.num_solutions, 0u);
+  EXPECT_DOUBLE_EQ(q.mean_avg, 0.0);
+  EXPECT_DOUBLE_EQ(q.hit_rate, 0.0);
+}
+
+TEST(MetricsTest, MultipleErrorSitesUseNearest) {
+  const Netlist nl = chain();
+  const auto dist =
+      distances_to_errors(nl, {nl.find("g1"), nl.find("g4")});
+  EXPECT_EQ(dist[nl.find("g1")], 0u);
+  EXPECT_EQ(dist[nl.find("g4")], 0u);
+  EXPECT_EQ(dist[nl.find("g2")], 1u);
+  EXPECT_EQ(dist[nl.find("g3")], 1u);
+}
+
+}  // namespace
+}  // namespace satdiag

@@ -1,0 +1,54 @@
+#include "fault/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench/builtin_circuits.hpp"
+
+namespace satdiag {
+namespace {
+
+TEST(ErrorModelTest, ErrorSiteExtraction) {
+  const DesignError gc = GateChangeError{7, GateType::kAnd, GateType::kOr};
+  const DesignError sa = StuckAtError{3, true};
+  EXPECT_EQ(error_site(gc), 7u);
+  EXPECT_EQ(error_site(sa), 3u);
+}
+
+TEST(ErrorModelTest, DescribeIsHumanReadable) {
+  const DesignError gc = GateChangeError{7, GateType::kAnd, GateType::kOr};
+  EXPECT_NE(describe_error(gc).find("AND"), std::string::npos);
+  EXPECT_NE(describe_error(gc).find("OR"), std::string::npos);
+  const DesignError sa = StuckAtError{3, true};
+  EXPECT_NE(describe_error(sa).find("stuck-at-1"), std::string::npos);
+}
+
+TEST(ErrorModelTest, ErrorSitesSortedUnique) {
+  const ErrorList errors{
+      GateChangeError{9, GateType::kAnd, GateType::kOr},
+      GateChangeError{2, GateType::kOr, GateType::kNor},
+      StuckAtError{9, false},
+  };
+  const auto sites = error_sites(errors);
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0], 2u);
+  EXPECT_EQ(sites[1], 9u);
+}
+
+TEST(ErrorModelTest, ApplyGateChange) {
+  const Netlist c17 = builtin_c17();
+  const GateId g = c17.find("16");
+  const ErrorList errors{GateChangeError{g, GateType::kNand, GateType::kNor}};
+  const Netlist faulty = apply_errors(c17, errors);
+  EXPECT_EQ(faulty.type(g), GateType::kNor);
+  EXPECT_EQ(c17.type(g), GateType::kNand);  // golden untouched
+  EXPECT_EQ(faulty.size(), c17.size());
+}
+
+TEST(ErrorModelTest, ApplyStuckAtThrows) {
+  const Netlist c17 = builtin_c17();
+  const ErrorList errors{StuckAtError{c17.find("16"), true}};
+  EXPECT_THROW(apply_errors(c17, errors), NetlistError);
+}
+
+}  // namespace
+}  // namespace satdiag

@@ -1,0 +1,124 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench/builtin_circuits.hpp"
+#include "gen/generator.hpp"
+#include "netlist/scan.hpp"
+#include "sim/simulator.hpp"
+
+namespace satdiag {
+namespace {
+
+Netlist scan_view(const Netlist& seq) { return make_full_scan(seq).comb; }
+
+TEST(InjectorTest, InjectsRequestedNumberOfDistinctSites) {
+  const Netlist nl = scan_view(builtin_s27());
+  Rng rng(1);
+  InjectorOptions options;
+  options.num_errors = 2;
+  const auto errors = inject_errors(nl, rng, options);
+  ASSERT_TRUE(errors.has_value());
+  EXPECT_EQ(errors->size(), 2u);
+  EXPECT_EQ(error_sites(*errors).size(), 2u);
+}
+
+TEST(InjectorTest, GateChangeKeepsArity) {
+  const Netlist nl = scan_view(builtin_s27());
+  Rng rng(3);
+  InjectorOptions options;
+  options.num_errors = 3;
+  const auto errors = inject_errors(nl, rng, options);
+  ASSERT_TRUE(errors.has_value());
+  for (const DesignError& e : *errors) {
+    const auto& gc = std::get<GateChangeError>(e);
+    EXPECT_NE(gc.original, gc.replacement);
+    EXPECT_TRUE(arity_ok(gc.replacement, nl.fanins(gc.gate).size()));
+    EXPECT_EQ(gc.original, nl.type(gc.gate));
+  }
+}
+
+TEST(InjectorTest, InjectedErrorsAreDetectable) {
+  GeneratorParams params;
+  params.num_inputs = 8;
+  params.num_outputs = 4;
+  params.num_gates = 150;
+  params.seed = 10;
+  const Netlist nl = scan_view(generate_circuit(params));
+  Rng rng(5);
+  InjectorOptions options;
+  options.num_errors = 1;
+  const auto errors = inject_errors(nl, rng, options);
+  ASSERT_TRUE(errors.has_value());
+
+  // Verify with an independent random simulation that behaviour differs.
+  ParallelSimulator golden(nl);
+  ParallelSimulator faulty(nl);
+  configure_faulty_simulator(faulty, *errors);
+  Rng check_rng(123);
+  bool differs = false;
+  for (int w = 0; w < 64 && !differs; ++w) {
+    for (GateId in : nl.inputs()) {
+      const std::uint64_t word = check_rng.next_u64();
+      golden.set_source(in, word);
+      faulty.set_source(in, word);
+    }
+    golden.run();
+    faulty.run();
+    for (GateId o : nl.outputs()) {
+      differs |= golden.value(o) != faulty.value(o);
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(InjectorTest, TooManyErrorsForTinyCircuitReturnsNullopt) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId g = nl.add_gate(GateType::kNot, "g", {a});
+  nl.add_output(g);
+  nl.finalize();
+  Rng rng(1);
+  InjectorOptions options;
+  options.num_errors = 5;
+  EXPECT_FALSE(inject_errors(nl, rng, options).has_value());
+}
+
+TEST(InjectorTest, StuckAtMix) {
+  const Netlist nl = scan_view(builtin_s27());
+  Rng rng(7);
+  InjectorOptions options;
+  options.num_errors = 4;
+  options.stuck_at_fraction = 1.0;  // all stuck-at
+  const auto errors = inject_errors(nl, rng, options);
+  ASSERT_TRUE(errors.has_value());
+  for (const DesignError& e : *errors) {
+    EXPECT_TRUE(std::holds_alternative<StuckAtError>(e));
+  }
+}
+
+TEST(InjectorTest, ConfigureFaultySimulatorStuckAt) {
+  const Netlist nl = scan_view(builtin_c17());
+  const GateId g = nl.find("16");
+  ParallelSimulator sim(nl);
+  configure_faulty_simulator(sim, {StuckAtError{g, true}});
+  sim.set_input_vector(0, {false, false, false, false, false});
+  sim.run();
+  EXPECT_TRUE(sim.value_bit(g, 0));
+}
+
+TEST(InjectorTest, DeterministicGivenSameRngSeed) {
+  const Netlist nl = scan_view(builtin_s27());
+  InjectorOptions options;
+  options.num_errors = 2;
+  Rng rng1(99);
+  Rng rng2(99);
+  const auto a = inject_errors(nl, rng1, options);
+  const auto b = inject_errors(nl, rng2, options);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(error_sites(*a), error_sites(*b));
+}
+
+}  // namespace
+}  // namespace satdiag

@@ -1,0 +1,49 @@
+// Cross-profile integration sweep: the full pipeline locates the injected
+// error on every small ISCAS89-like profile.
+#include <gtest/gtest.h>
+
+#include "report/experiment.hpp"
+
+namespace satdiag {
+namespace {
+
+class ProfileSweepTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProfileSweepTest, BsatLocatesInjectedError) {
+  ExperimentConfig config;
+  config.circuit = GetParam();
+  config.scale = 0.5;
+  config.num_errors = 1;
+  config.num_tests = 8;
+  config.seed = 21;
+  config.time_limit_seconds = 60.0;
+  const auto prepared = prepare_experiment(config);
+  if (!prepared) GTEST_SKIP() << "no detectable error for this seed";
+  const ExperimentRow row = run_experiment(*prepared, config);
+  ASSERT_TRUE(row.bsat.complete);
+  ASSERT_FALSE(row.bsat.solutions.empty());
+  const std::vector<GateId> site{prepared->error_sites[0]};
+  bool found = false;
+  for (const auto& solution : row.bsat.solutions) {
+    found |= solution == site;
+  }
+  EXPECT_TRUE(found);
+  // Paper shape within each profile: BSAT never returns more solutions
+  // than COV when both completed.
+  if (row.cov.complete && row.cov.quality.num_solutions > 0) {
+    EXPECT_LE(row.bsat.quality.num_solutions,
+              row.cov.quality.num_solutions + 5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallProfiles, ProfileSweepTest,
+                         ::testing::Values("s298_like", "s344_like",
+                                           "s382_like", "s510_like",
+                                           "s526_like", "s641_like",
+                                           "s820_like", "s953_like"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+}  // namespace
+}  // namespace satdiag

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "report/format.hpp"
+#include "util/table.hpp"
+
+namespace satdiag {
+namespace {
+
+ExperimentRow sample_row() {
+  ExperimentRow row;
+  row.config.circuit = "s1423_like";
+  row.config.num_errors = 4;
+  row.config.num_tests = 8;
+  row.bsim_seconds = 0.01;
+  row.bsim_quality.union_size = 115;
+  row.bsim_quality.avg_all = 3.78;
+  row.bsim_quality.gmax_size = 2;
+  row.bsim_quality.min_g = 3;
+  row.bsim_quality.max_g = 4;
+  row.bsim_quality.avg_g = 3.5;
+  row.cov.cnf_seconds = 0.01;
+  row.cov.one_seconds = 0.01;
+  row.cov.all_seconds = 19.98;
+  row.cov.quality.num_solutions = 28281;
+  row.cov.quality.min_avg = 0;
+  row.cov.quality.max_avg = 5.5;
+  row.cov.quality.mean_avg = 3.42;
+  row.bsat.cnf_seconds = 0.02;
+  row.bsat.one_seconds = 0.21;
+  row.bsat.all_seconds = 12.93;
+  row.bsat.quality.num_solutions = 1281;
+  row.bsat.quality.mean_avg = 1.78;
+  return row;
+}
+
+TEST(FormatTest, Table2RowLayout) {
+  const auto header = table2_header();
+  const auto row = table2_row(sample_row());
+  ASSERT_EQ(header.size(), row.size());
+  EXPECT_EQ(row[0], "s1423_like");
+  EXPECT_EQ(row[1], "4");
+  EXPECT_EQ(row[2], "8");
+  EXPECT_EQ(row[3], "0.01");   // BSIM
+  EXPECT_EQ(row[6], "19.98");  // COV All
+  EXPECT_EQ(row[9], "12.93");  // BSAT All
+}
+
+TEST(FormatTest, Table3RowLayout) {
+  const auto header = table3_header();
+  const auto row = table3_row(sample_row());
+  ASSERT_EQ(header.size(), row.size());
+  EXPECT_EQ(row[3], "115");    // |U Ci|
+  EXPECT_EQ(row[4], "3.78");   // avgA
+  EXPECT_EQ(row[9], "28281");  // COV #sol
+  EXPECT_EQ(row[13], "1281");  // SAT #sol
+}
+
+TEST(FormatTest, IncompleteRunsMarked) {
+  ExperimentRow row = sample_row();
+  row.bsat.complete = false;
+  const auto cells = table2_row(row);
+  EXPECT_NE(cells[9].find('*'), std::string::npos);
+}
+
+TEST(FormatTest, Fig6CsvRows) {
+  const ExperimentRow row = sample_row();
+  EXPECT_EQ(fig6_avg_csv_row(row), "s1423_like,4,8,3.4200,1.7800");
+  EXPECT_EQ(fig6_nsol_csv_row(row), "s1423_like,4,8,28281,1281");
+}
+
+TEST(FormatTest, RowsFitTablePrinter) {
+  TablePrinter table(table2_header());
+  table.add_row(table2_row(sample_row()));
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("BSAT.All"), std::string::npos);
+  EXPECT_NE(out.find("s1423_like"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace satdiag

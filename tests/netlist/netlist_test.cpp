@@ -1,0 +1,145 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace satdiag {
+namespace {
+
+Netlist small_chain() {
+  Netlist nl("chain");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g1 = nl.add_gate(GateType::kAnd, "g1", {a, b});
+  const GateId g2 = nl.add_gate(GateType::kNot, "g2", {g1});
+  nl.add_output(g2);
+  nl.finalize();
+  return nl;
+}
+
+TEST(NetlistTest, BasicConstruction) {
+  const Netlist nl = small_chain();
+  EXPECT_EQ(nl.size(), 4u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.num_sources(), 2u);
+  EXPECT_EQ(nl.num_combinational_gates(), 2u);
+}
+
+TEST(NetlistTest, FindByName) {
+  const Netlist nl = small_chain();
+  EXPECT_NE(nl.find("g1"), kNoGate);
+  EXPECT_EQ(nl.gate_name(nl.find("g1")), "g1");
+  EXPECT_EQ(nl.find("nope"), kNoGate);
+}
+
+TEST(NetlistTest, DuplicateNameThrows) {
+  Netlist nl;
+  nl.add_input("x");
+  EXPECT_THROW(nl.add_input("x"), NetlistError);
+}
+
+TEST(NetlistTest, BadArityThrows) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateType::kNot, "n", {a, a}), NetlistError);
+  EXPECT_THROW(nl.add_gate(GateType::kAnd, "z", {}), NetlistError);
+}
+
+TEST(NetlistTest, FaninOutOfRangeThrows) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateType::kBuf, "b", {42}), NetlistError);
+}
+
+TEST(NetlistTest, TopoOrderRespectsDependencies) {
+  const Netlist nl = small_chain();
+  const auto& topo = nl.topo_order();
+  ASSERT_EQ(topo.size(), nl.size());
+  std::vector<std::size_t> position(nl.size());
+  for (std::size_t i = 0; i < topo.size(); ++i) position[topo[i]] = i;
+  for (GateId g = 0; g < nl.size(); ++g) {
+    for (GateId f : nl.fanins(g)) {
+      if (nl.type(g) == GateType::kDff) continue;
+      EXPECT_LT(position[f], position[g]);
+    }
+  }
+}
+
+TEST(NetlistTest, LevelsAreOnePlusMaxFanin) {
+  const Netlist nl = small_chain();
+  EXPECT_EQ(nl.levels()[nl.find("a")], 0u);
+  EXPECT_EQ(nl.levels()[nl.find("g1")], 1u);
+  EXPECT_EQ(nl.levels()[nl.find("g2")], 2u);
+  EXPECT_EQ(nl.depth(), 2u);
+}
+
+TEST(NetlistTest, FanoutsAreInverseOfFanins) {
+  const Netlist nl = small_chain();
+  const GateId a = nl.find("a");
+  const GateId g1 = nl.find("g1");
+  const auto fanouts = nl.fanouts(a);
+  ASSERT_EQ(fanouts.size(), 1u);
+  EXPECT_EQ(fanouts[0], g1);
+}
+
+TEST(NetlistTest, DffBreaksCombinationalCycle) {
+  Netlist nl("loop");
+  const GateId in = nl.add_input("in");
+  const GateId ff = nl.add_dff("ff");
+  const GateId g = nl.add_gate(GateType::kAnd, "g", {in, ff});
+  nl.set_dff_input(ff, g);  // g -> ff -> g is a legal sequential loop
+  nl.add_output(g);
+  EXPECT_NO_THROW(nl.finalize());
+  EXPECT_EQ(nl.levels()[ff], 0u);
+}
+
+TEST(NetlistTest, DffWithoutDataInputThrowsOnFinalize) {
+  Netlist nl;
+  nl.add_input("a");
+  nl.add_dff("ff");
+  EXPECT_THROW(nl.finalize(), NetlistError);
+}
+
+TEST(NetlistTest, SubstituteTypePreservesTopology) {
+  Netlist nl = small_chain();
+  const GateId g1 = nl.find("g1");
+  nl.substitute_type(g1, GateType::kNor);
+  EXPECT_EQ(nl.type(g1), GateType::kNor);
+  EXPECT_EQ(nl.topo_order().size(), nl.size());
+}
+
+TEST(NetlistTest, SubstituteTypeChecksArity) {
+  Netlist nl = small_chain();
+  EXPECT_THROW(nl.substitute_type(nl.find("g1"), GateType::kNot),
+               NetlistError);
+  EXPECT_THROW(nl.substitute_type(nl.find("a"), GateType::kAnd), NetlistError);
+}
+
+TEST(NetlistTest, MutationAfterFinalizeThrows) {
+  Netlist nl = small_chain();
+  EXPECT_THROW(nl.add_input("new"), NetlistError);
+  EXPECT_THROW(nl.add_output(0), NetlistError);
+}
+
+TEST(NetlistTest, CloneIsIndependent) {
+  Netlist nl = small_chain();
+  Netlist copy = nl.clone();
+  copy.substitute_type(copy.find("g1"), GateType::kOr);
+  EXPECT_EQ(nl.type(nl.find("g1")), GateType::kAnd);
+  EXPECT_EQ(copy.type(copy.find("g1")), GateType::kOr);
+}
+
+TEST(NetlistTest, ConstGates) {
+  Netlist nl;
+  const GateId c0 = nl.add_const(false, "zero");
+  const GateId c1 = nl.add_const(true, "one");
+  const GateId g = nl.add_gate(GateType::kOr, "g", {c0, c1});
+  nl.add_output(g);
+  nl.finalize();
+  EXPECT_EQ(nl.type(c0), GateType::kConst0);
+  EXPECT_EQ(nl.type(c1), GateType::kConst1);
+  EXPECT_TRUE(nl.is_source(c0));
+}
+
+}  // namespace
+}  // namespace satdiag

@@ -1,0 +1,69 @@
+#include "netlist/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench/builtin_circuits.hpp"
+
+namespace satdiag {
+namespace {
+
+TEST(ScanTest, S27ScanShape) {
+  const Netlist s27 = builtin_s27();
+  const ScanModel scan = make_full_scan(s27);
+  // Same gate count, same ids.
+  EXPECT_EQ(scan.comb.size(), s27.size());
+  // 4 real + 3 pseudo inputs (DFFs).
+  EXPECT_EQ(scan.comb.inputs().size(), 7u);
+  EXPECT_EQ(scan.num_real_inputs, 4u);
+  // 1 real + 3 pseudo outputs.
+  EXPECT_EQ(scan.comb.outputs().size(), 4u);
+  EXPECT_EQ(scan.num_real_outputs, 1u);
+  EXPECT_EQ(scan.scan_dffs.size(), 3u);
+  EXPECT_TRUE(scan.comb.dffs().empty());
+}
+
+TEST(ScanTest, GateIdsPreserved) {
+  const Netlist s27 = builtin_s27();
+  const ScanModel scan = make_full_scan(s27);
+  for (GateId g = 0; g < s27.size(); ++g) {
+    EXPECT_EQ(scan.comb.gate_name(g), s27.gate_name(g));
+    if (s27.is_combinational(g)) {
+      EXPECT_EQ(scan.comb.type(g), s27.type(g));
+      ASSERT_EQ(scan.comb.fanins(g).size(), s27.fanins(g).size());
+      for (std::size_t i = 0; i < s27.fanins(g).size(); ++i) {
+        EXPECT_EQ(scan.comb.fanins(g)[i], s27.fanins(g)[i]);
+      }
+    }
+  }
+}
+
+TEST(ScanTest, DffsBecomeInputs) {
+  const Netlist s27 = builtin_s27();
+  const ScanModel scan = make_full_scan(s27);
+  for (GateId d : s27.dffs()) {
+    EXPECT_EQ(scan.comb.type(d), GateType::kInput);
+  }
+}
+
+TEST(ScanTest, PseudoOutputsObserveDffData) {
+  const Netlist s27 = builtin_s27();
+  const ScanModel scan = make_full_scan(s27);
+  for (std::size_t i = 0; i < scan.scan_dffs.size(); ++i) {
+    const GateId dff = scan.scan_dffs[i];
+    const GateId pseudo_out =
+        scan.comb.outputs()[scan.num_real_outputs + i];
+    EXPECT_EQ(pseudo_out, s27.fanins(dff)[0]);
+  }
+}
+
+TEST(ScanTest, CombinationalCircuitPassesThrough) {
+  const Netlist c17 = builtin_c17();
+  const ScanModel scan = make_full_scan(c17);
+  EXPECT_EQ(scan.comb.size(), c17.size());
+  EXPECT_EQ(scan.comb.inputs().size(), c17.inputs().size());
+  EXPECT_EQ(scan.comb.outputs().size(), c17.outputs().size());
+  EXPECT_TRUE(scan.scan_dffs.empty());
+}
+
+}  // namespace
+}  // namespace satdiag

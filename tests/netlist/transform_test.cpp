@@ -1,0 +1,233 @@
+#include "netlist/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench/builtin_circuits.hpp"
+#include "gen/generator.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace satdiag {
+namespace {
+
+// Property check: every original output computes the same function before
+// and after the transform, on 256 random patterns.
+void expect_equivalent(const Netlist& before, const TransformResult& after) {
+  ASSERT_EQ(before.outputs().size(), after.netlist.outputs().size());
+  Rng rng(99);
+  for (int word = 0; word < 4; ++word) {
+    ParallelSimulator sim_a(before);
+    ParallelSimulator sim_b(after.netlist);
+    for (std::size_t i = 0; i < before.inputs().size(); ++i) {
+      const std::uint64_t w = rng.next_u64();
+      sim_a.set_source(before.inputs()[i], w);
+      sim_b.set_source(after.netlist.inputs()[i], w);
+    }
+    for (std::size_t i = 0; i < before.dffs().size(); ++i) {
+      const std::uint64_t w = rng.next_u64();
+      sim_a.set_source(before.dffs()[i], w);
+      sim_b.set_source(after.netlist.dffs()[i], w);
+    }
+    sim_a.run();
+    sim_b.run();
+    for (std::size_t o = 0; o < before.outputs().size(); ++o) {
+      ASSERT_EQ(sim_a.value(before.outputs()[o]),
+                sim_b.value(after.netlist.outputs()[o]))
+          << "output " << o;
+    }
+    // DFF next-state functions must match too.
+    for (std::size_t i = 0; i < before.dffs().size(); ++i) {
+      const GateId da = before.fanins(before.dffs()[i])[0];
+      const GateId db = after.netlist.fanins(after.netlist.dffs()[i])[0];
+      ASSERT_EQ(sim_a.value(da), sim_b.value(db));
+    }
+  }
+}
+
+TEST(ConstantFoldTest, FoldsControllingConstant) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId c0 = nl.add_const(false, "c0");
+  const GateId g = nl.add_gate(GateType::kAnd, "g", {a, c0});
+  const GateId o = nl.add_gate(GateType::kNot, "o", {g});
+  nl.add_output(o);
+  nl.finalize();
+  const TransformResult result = constant_fold(nl);
+  expect_equivalent(nl, result);
+  // AND(a, 0) = 0; NOT(0) = 1: output collapses to a constant.
+  const GateId mapped = result.gate_map[o];
+  EXPECT_EQ(result.netlist.type(mapped), GateType::kConst1);
+}
+
+TEST(ConstantFoldTest, DropsNonControllingConstant) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId c1 = nl.add_const(true, "c1");
+  const GateId g = nl.add_gate(GateType::kAnd, "g", {a, b, c1});
+  nl.add_output(g);
+  nl.finalize();
+  const TransformResult result = constant_fold(nl);
+  expect_equivalent(nl, result);
+  const GateId mapped = result.gate_map[g];
+  EXPECT_EQ(result.netlist.type(mapped), GateType::kAnd);
+  EXPECT_EQ(result.netlist.fanins(mapped).size(), 2u);
+}
+
+TEST(ConstantFoldTest, CollapsesBufChains) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b1 = nl.add_gate(GateType::kBuf, "b1", {a});
+  const GateId b2 = nl.add_gate(GateType::kBuf, "b2", {b1});
+  const GateId b3 = nl.add_gate(GateType::kBuf, "b3", {b2});
+  nl.add_output(b3);
+  nl.finalize();
+  const TransformResult result = constant_fold(nl);
+  expect_equivalent(nl, result);
+  EXPECT_EQ(result.gate_map[b3], result.gate_map[a]);
+  EXPECT_EQ(result.netlist.size(), 1u);  // just the input
+}
+
+TEST(ConstantFoldTest, CancelsDoubleNegation) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId n1 = nl.add_gate(GateType::kNot, "n1", {a});
+  const GateId n2 = nl.add_gate(GateType::kNot, "n2", {n1});
+  nl.add_output(n2);
+  nl.add_output(n1);
+  nl.finalize();
+  const TransformResult result = constant_fold(nl);
+  expect_equivalent(nl, result);
+  EXPECT_EQ(result.gate_map[n2], result.gate_map[a]);
+}
+
+TEST(ConstantFoldTest, XorParityTracking) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId c1 = nl.add_const(true, "c1");
+  const GateId c1b = nl.add_const(true, "c1b");
+  const GateId g = nl.add_gate(GateType::kXor, "g", {a, c1, c1b});
+  nl.add_output(g);
+  nl.finalize();
+  const TransformResult result = constant_fold(nl);
+  expect_equivalent(nl, result);
+  // XOR(a, 1, 1) == a.
+  EXPECT_EQ(result.gate_map[g], result.gate_map[a]);
+}
+
+TEST(ConstantFoldTest, DropsDeadLogic) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId used = nl.add_gate(GateType::kNot, "used", {a});
+  const GateId dead = nl.add_gate(GateType::kAnd, "dead", {a, used});
+  (void)dead;
+  nl.add_output(used);
+  nl.finalize();
+  const TransformResult result = constant_fold(nl);
+  EXPECT_EQ(result.gate_map[dead], kNoGate);
+  EXPECT_EQ(result.netlist.size(), 2u);
+}
+
+TEST(ConstantFoldTest, PreservesSequentialCircuit) {
+  const Netlist s27 = builtin_s27();
+  const TransformResult result = constant_fold(s27);
+  expect_equivalent(s27, result);
+  EXPECT_EQ(result.netlist.dffs().size(), s27.dffs().size());
+}
+
+TEST(ConstantFoldTest, RandomCircuitsStayEquivalent) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    GeneratorParams params;
+    params.num_inputs = 8;
+    params.num_outputs = 4;
+    params.num_dffs = 4;
+    params.num_gates = 150;
+    params.seed = seed;
+    const Netlist nl = generate_circuit(params);
+    const TransformResult result = constant_fold(nl);
+    expect_equivalent(nl, result);
+    EXPECT_LE(result.netlist.size(), nl.size());
+  }
+}
+
+TEST(StrashTest, MergesCommutativeDuplicates) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g1 = nl.add_gate(GateType::kAnd, "g1", {a, b});
+  const GateId g2 = nl.add_gate(GateType::kAnd, "g2", {b, a});
+  const GateId o = nl.add_gate(GateType::kXor, "o", {g1, g2});
+  nl.add_output(o);
+  nl.finalize();
+  const TransformResult result = strash(nl);
+  expect_equivalent(nl, result);
+  EXPECT_EQ(result.gate_map[g1], result.gate_map[g2]);
+}
+
+TEST(StrashTest, CascadingMerges) {
+  // Duplicate subtrees merge bottom-up.
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId x1 = nl.add_gate(GateType::kOr, "x1", {a, b});
+  const GateId x2 = nl.add_gate(GateType::kOr, "x2", {b, a});
+  const GateId y1 = nl.add_gate(GateType::kNot, "y1", {x1});
+  const GateId y2 = nl.add_gate(GateType::kNot, "y2", {x2});
+  const GateId o = nl.add_gate(GateType::kAnd, "o", {y1, y2});
+  nl.add_output(o);
+  nl.finalize();
+  const TransformResult result = strash(nl);
+  expect_equivalent(nl, result);
+  EXPECT_EQ(result.gate_map[y1], result.gate_map[y2]);
+  // o = AND(y, y) stays (fanin dedup is not strash's job), but both fanins
+  // are the same node now.
+  const GateId mo = result.gate_map[o];
+  EXPECT_EQ(result.netlist.fanins(mo)[0], result.netlist.fanins(mo)[1]);
+}
+
+TEST(StrashTest, SequentialRoundTrip) {
+  const Netlist s27 = builtin_s27();
+  const TransformResult result = strash(s27);
+  expect_equivalent(s27, result);
+}
+
+TEST(StrashTest, RandomCircuitsStayEquivalent) {
+  for (std::uint64_t seed = 10; seed <= 14; ++seed) {
+    GeneratorParams params;
+    params.num_inputs = 6;
+    params.num_outputs = 4;
+    params.num_dffs = 3;
+    params.num_gates = 120;
+    params.locality = 0.95;  // dense local reuse: more merge opportunities
+    params.seed = seed;
+    const Netlist nl = generate_circuit(params);
+    const TransformResult result = strash(nl);
+    expect_equivalent(nl, result);
+    EXPECT_LE(result.netlist.size(), nl.size());
+  }
+}
+
+TEST(TransformTest, FoldThenStrashCompose) {
+  const Netlist c17 = builtin_c17();
+  const TransformResult folded = constant_fold(c17);
+  const TransformResult hashed = strash(folded.netlist);
+  ASSERT_EQ(hashed.netlist.outputs().size(), c17.outputs().size());
+  // End-to-end equivalence against the original.
+  Rng rng(7);
+  ParallelSimulator sim_a(c17);
+  ParallelSimulator sim_b(hashed.netlist);
+  for (std::size_t i = 0; i < c17.inputs().size(); ++i) {
+    const std::uint64_t w = rng.next_u64();
+    sim_a.set_source(c17.inputs()[i], w);
+    sim_b.set_source(hashed.netlist.inputs()[i], w);
+  }
+  sim_a.run();
+  sim_b.run();
+  for (std::size_t o = 0; o < c17.outputs().size(); ++o) {
+    EXPECT_EQ(sim_a.value(c17.outputs()[o]),
+              sim_b.value(hashed.netlist.outputs()[o]));
+  }
+}
+
+}  // namespace
+}  // namespace satdiag

@@ -1,0 +1,104 @@
+#include "sat/allsat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace satdiag::sat {
+namespace {
+
+TEST(AllSatTest, FullCubeEnumerationCountsModels) {
+  // (a or b): exactly 3 models over {a, b}.
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause(pos(a), pos(b));
+  AllSatOptions options;
+  options.block_positive_subset = false;
+  const auto result = enumerate_all(s, {a, b}, {}, options);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.solutions.size(), 3u);
+}
+
+TEST(AllSatTest, SubsetBlockingYieldsMinimalSets) {
+  // (a or b) with subset blocking: the minimal hitting sets {a} and {b}.
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause(pos(a), pos(b));
+  const auto result = enumerate_all(s, {a, b}, {});
+  EXPECT_TRUE(result.complete);
+  std::set<std::vector<Var>> sets(result.solutions.begin(),
+                                  result.solutions.end());
+  // Supersets like {a, b} may appear first, but after blocking both
+  // singletons no further solution exists; all solutions must be unique.
+  EXPECT_EQ(sets.size(), result.solutions.size());
+  EXPECT_LE(result.solutions.size(), 3u);
+  EXPECT_GE(result.solutions.size(), 1u);
+}
+
+TEST(AllSatTest, UnsatGivesEmptyComplete) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause(pos(a));
+  s.add_clause(neg(a));
+  const auto result = enumerate_all(s, {a}, {});
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.solutions.empty());
+}
+
+TEST(AllSatTest, MaxSolutionsTruncates) {
+  Solver s;
+  std::vector<Var> vars;
+  for (int i = 0; i < 4; ++i) vars.push_back(s.new_var());
+  // No constraints: full-cube enumeration has 16 models.
+  AllSatOptions options;
+  options.block_positive_subset = false;
+  options.max_solutions = 5;
+  const auto result = enumerate_all(s, vars, {}, options);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.solutions.size(), 5u);
+}
+
+TEST(AllSatTest, AssumptionsRestrictEnumeration) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause(pos(a), pos(b));
+  std::vector<Lit> assume{neg(a)};
+  AllSatOptions options;
+  options.block_positive_subset = false;
+  const auto result = enumerate_all(s, {a, b}, assume, options);
+  EXPECT_TRUE(result.complete);
+  ASSERT_EQ(result.solutions.size(), 1u);
+  EXPECT_EQ(result.solutions[0], std::vector<Var>{b});
+}
+
+TEST(AllSatTest, EmptyProjectionSolutionTerminates) {
+  // Satisfiable with all projection vars false: the empty set blocks
+  // everything and enumeration reports completeness.
+  Solver s;
+  const Var a = s.new_var();
+  (void)a;
+  const Var unconstrained = s.new_var();
+  s.add_clause(neg(unconstrained));
+  const auto result = enumerate_all(s, {unconstrained}, {});
+  EXPECT_TRUE(result.complete);
+  ASSERT_EQ(result.solutions.size(), 1u);
+  EXPECT_TRUE(result.solutions[0].empty());
+}
+
+TEST(AllSatTest, ExpiredDeadlineStopsImmediately) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause(pos(a));
+  AllSatOptions options;
+  options.deadline = Deadline::after_seconds(-1.0);
+  const auto result = enumerate_all(s, {a}, {}, options);
+  EXPECT_FALSE(result.complete);
+  EXPECT_TRUE(result.solutions.empty());
+}
+
+}  // namespace
+}  // namespace satdiag::sat

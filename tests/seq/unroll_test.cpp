@@ -1,0 +1,90 @@
+#include "seq/unroll.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench/builtin_circuits.hpp"
+#include "seq/seq_diag.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace satdiag {
+namespace {
+
+TEST(UnrollTest, FrameCountsAndLayout) {
+  const Netlist s27 = builtin_s27();
+  const UnrolledCircuit u = unroll(s27, 3);
+  EXPECT_EQ(u.frames, 3u);
+  EXPECT_EQ(u.num_state_inputs, 3u);
+  EXPECT_EQ(u.pis_per_frame, 4u);
+  EXPECT_EQ(u.pos_per_frame, 1u);
+  EXPECT_EQ(u.comb.inputs().size(), 3u + 3u * 4u);
+  EXPECT_EQ(u.comb.outputs().size(), 3u);
+  EXPECT_TRUE(u.comb.dffs().empty());
+}
+
+TEST(UnrollTest, ZeroFramesThrows) {
+  const Netlist s27 = builtin_s27();
+  EXPECT_THROW(unroll(s27, 0), NetlistError);
+}
+
+TEST(UnrollTest, CombinationalCircuitUnrollsToCopies) {
+  const Netlist c17 = builtin_c17();
+  const UnrolledCircuit u = unroll(c17, 2);
+  EXPECT_EQ(u.comb.size(), 2 * c17.size());
+  EXPECT_EQ(u.comb.outputs().size(), 4u);
+}
+
+// Property: unrolled evaluation equals cycle-by-cycle sequential simulation.
+TEST(UnrollTest, MatchesSequentialSimulation) {
+  const Netlist s27 = builtin_s27();
+  Rng rng(5);
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t frames = 1 + rng.next_below(5);
+    std::vector<std::vector<bool>> sequence(frames);
+    for (auto& v : sequence) {
+      v.resize(s27.inputs().size());
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] = rng.next_bool();
+    }
+    std::vector<bool> initial(s27.dffs().size());
+    for (std::size_t i = 0; i < initial.size(); ++i) {
+      initial[i] = rng.next_bool();
+    }
+    const auto reference = simulate_sequence(s27, sequence, initial);
+
+    const UnrolledCircuit u = unroll(s27, frames);
+    ParallelSimulator sim(u.comb);
+    std::vector<bool> flat;
+    flat.insert(flat.end(), initial.begin(), initial.end());
+    for (const auto& v : sequence) flat.insert(flat.end(), v.begin(), v.end());
+    ASSERT_EQ(flat.size(), u.comb.inputs().size());
+    sim.set_input_vector(0, flat);
+    sim.run();
+    for (std::size_t f = 0; f < frames; ++f) {
+      for (std::size_t po = 0; po < u.pos_per_frame; ++po) {
+        EXPECT_EQ(sim.value_bit(u.output_at(f, po), 0), reference[f][po])
+            << "frame " << f << " po " << po;
+      }
+    }
+  }
+}
+
+TEST(UnrollTest, FrameGateMappingCoversEveryGate) {
+  const Netlist s27 = builtin_s27();
+  const UnrolledCircuit u = unroll(s27, 2);
+  for (std::size_t f = 0; f < 2; ++f) {
+    for (GateId g = 0; g < s27.size(); ++g) {
+      EXPECT_NE(u.frame_gate[f][g], kNoGate);
+      EXPECT_LT(u.frame_gate[f][g], u.comb.size());
+    }
+  }
+  // Frame-1 DFF holders buffer the frame-0 data signals.
+  for (GateId dff : s27.dffs()) {
+    const GateId holder = u.frame_gate[1][dff];
+    EXPECT_EQ(u.comb.type(holder), GateType::kBuf);
+    EXPECT_EQ(u.comb.fanins(holder)[0],
+              u.frame_gate[0][s27.fanins(dff)[0]]);
+  }
+}
+
+}  // namespace
+}  // namespace satdiag

@@ -1,0 +1,158 @@
+#include "sim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace satdiag {
+namespace {
+
+Netlist random_circuit(std::uint64_t seed) {
+  GeneratorParams params;
+  params.num_inputs = 8;
+  params.num_outputs = 4;
+  params.num_gates = 150;
+  params.seed = seed;
+  return generate_circuit(params);
+}
+
+TEST(EventSimTest, PropagateMatchesFullResimulation) {
+  const Netlist nl = random_circuit(11);
+  Rng rng(2);
+
+  ParallelSimulator full(nl);
+  for (GateId in : nl.inputs()) full.set_source(in, rng.next_u64());
+  full.run();
+
+  EventSimulator event(nl);
+  event.load_baseline(full.values());
+
+  // Pick a few gates, override their type, compare against full resim.
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (!nl.is_combinational(g) || g % 13 != 0) continue;
+    const GateType replacement =
+        nl.type(g) == GateType::kAnd ? GateType::kOr : GateType::kAnd;
+    if (!arity_ok(replacement, nl.fanins(g).size())) continue;
+
+    event.set_type_override(g, replacement);
+    event.propagate();
+
+    ParallelSimulator check(nl);
+    for (GateId in : nl.inputs()) check.set_source(in, full.value(in));
+    check.set_type_override(g, replacement);
+    check.run();
+    for (GateId h = 0; h < nl.size(); ++h) {
+      ASSERT_EQ(event.value(h), check.value(h)) << "gate " << h;
+    }
+    event.revert();
+    // After revert, values equal the baseline again.
+    for (GateId h = 0; h < nl.size(); ++h) {
+      ASSERT_EQ(event.value(h), full.value(h));
+    }
+  }
+}
+
+TEST(EventSimTest, ValueOverridePropagates) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId g = nl.add_gate(GateType::kBuf, "g", {a});
+  const GateId h = nl.add_gate(GateType::kNot, "h", {g});
+  nl.add_output(h);
+  nl.finalize();
+
+  ParallelSimulator full(nl);
+  full.set_source(a, 0ULL);
+  full.run();
+
+  EventSimulator event(nl);
+  event.load_baseline(full.values());
+  EXPECT_EQ(event.value(h), ~0ULL);
+
+  event.set_value_override(g, ~0ULL);
+  event.propagate();
+  EXPECT_EQ(event.value(g), ~0ULL);
+  EXPECT_EQ(event.value(h), 0ULL);
+  ASSERT_EQ(event.changed().size(), 2u);
+
+  event.revert();
+  EXPECT_EQ(event.value(g), 0ULL);
+  EXPECT_EQ(event.value(h), ~0ULL);
+  EXPECT_TRUE(event.changed().empty());
+}
+
+TEST(EventSimTest, DiffMaskReportsFlippedPatterns) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId g = nl.add_gate(GateType::kBuf, "g", {a});
+  nl.add_output(g);
+  nl.finalize();
+
+  ParallelSimulator full(nl);
+  full.set_source(a, 0b1010);
+  full.run();
+  EventSimulator event(nl);
+  event.load_baseline(full.values());
+  event.set_value_override(g, 0b1000);
+  event.propagate();
+  EXPECT_EQ(event.diff_mask(g), 0b0010ULL);
+}
+
+TEST(EventSimTest, NoChangeNoEvents) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId g = nl.add_gate(GateType::kBuf, "g", {a});
+  nl.add_output(g);
+  nl.finalize();
+  ParallelSimulator full(nl);
+  full.set_source(a, 0x5555ULL);
+  full.run();
+  EventSimulator event(nl);
+  event.load_baseline(full.values());
+  // Override with the same value: no changed gates.
+  event.set_value_override(g, 0x5555ULL);
+  event.propagate();
+  EXPECT_TRUE(event.changed().empty());
+}
+
+TEST(EventSimTest, SequentialOverridesAccumulate) {
+  const Netlist nl = random_circuit(21);
+  Rng rng(4);
+  ParallelSimulator full(nl);
+  for (GateId in : nl.inputs()) full.set_source(in, rng.next_u64());
+  full.run();
+  EventSimulator event(nl);
+  event.load_baseline(full.values());
+
+  // Apply two overrides one after another; result must equal a full resim
+  // with both applied.
+  GateId g1 = kNoGate;
+  GateId g2 = kNoGate;
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (nl.is_combinational(g)) {
+      if (g1 == kNoGate) {
+        g1 = g;
+      } else {
+        g2 = g;
+        break;
+      }
+    }
+  }
+  event.set_value_override(g1, ~0ULL);
+  event.propagate();
+  event.set_value_override(g2, 0ULL);
+  event.propagate();
+
+  ParallelSimulator check(nl);
+  for (GateId in : nl.inputs()) check.set_source(in, full.value(in));
+  check.set_value_override(g1, ~0ULL);
+  check.set_value_override(g2, 0ULL);
+  check.run();
+  for (GateId h = 0; h < nl.size(); ++h) {
+    ASSERT_EQ(event.value(h), check.value(h));
+  }
+}
+
+}  // namespace
+}  // namespace satdiag

@@ -1,0 +1,69 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace satdiag {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  CliArgs cli;
+  std::string error;
+  EXPECT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data(), error));
+  return cli;
+}
+
+TEST(CliTest, SpaceSeparatedValue) {
+  auto cli = parse({"--circuit", "s1423_like"});
+  EXPECT_EQ(cli.get_string("circuit", ""), "s1423_like");
+}
+
+TEST(CliTest, EqualsSeparatedValue) {
+  auto cli = parse({"--tests=16"});
+  EXPECT_EQ(cli.get_int("tests", 0), 16);
+}
+
+TEST(CliTest, BareBooleanFlag) {
+  auto cli = parse({"--quick", "--seed", "7"});
+  EXPECT_TRUE(cli.get_bool("quick", false));
+  EXPECT_EQ(cli.get_int("seed", 0), 7);
+}
+
+TEST(CliTest, DefaultsWhenMissing) {
+  auto cli = parse({});
+  EXPECT_EQ(cli.get_string("name", "dflt"), "dflt");
+  EXPECT_EQ(cli.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 1.5), 1.5);
+  EXPECT_FALSE(cli.get_bool("b", false));
+}
+
+TEST(CliTest, DoubleParsing) {
+  auto cli = parse({"--scale=0.25"});
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 1.0), 0.25);
+}
+
+TEST(CliTest, BoolFalseSpellings) {
+  auto cli = parse({"--a=false", "--b=0", "--c=true"});
+  EXPECT_FALSE(cli.get_bool("a", true));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_TRUE(cli.get_bool("c", false));
+}
+
+TEST(CliTest, PositionalArguments) {
+  auto cli = parse({"file1", "--k", "2", "file2"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "file1");
+  EXPECT_EQ(cli.positional()[1], "file2");
+}
+
+TEST(CliTest, UnusedReportsUnqueriedFlags) {
+  auto cli = parse({"--typo", "1", "--used", "2"});
+  EXPECT_EQ(cli.get_int("used", 0), 2);
+  const auto unused = cli.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace satdiag

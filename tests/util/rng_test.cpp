@@ -1,0 +1,121 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace satdiag {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolProbabilityRoughlyRespected) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.next_bool(0.25);
+  EXPECT_GT(heads, 2000);
+  EXPECT_LT(heads, 3000);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(19);
+  std::vector<int> v(32);
+  for (int i = 0; i < 32; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // probability of identity is ~1/32!
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.split();
+  // The child stream should not simply mirror the parent.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, PickCoversAllElements) {
+  Rng rng(29);
+  const std::vector<int> items{10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.pick(items));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(31);
+  const auto first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(31);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace satdiag

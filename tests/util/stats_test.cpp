@@ -1,0 +1,54 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace satdiag {
+namespace {
+
+TEST(SummaryTest, EmptySummary) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryTest, SingleValue) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryTest, KnownMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(SummaryTest, NegativeValues) {
+  Summary s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(SummaryTest, StddevIsSqrtOfVariance) {
+  Summary s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0);
+  EXPECT_NEAR(s.stddev() * s.stddev(), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace satdiag

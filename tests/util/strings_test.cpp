@@ -1,0 +1,66 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace satdiag {
+namespace {
+
+TEST(StringsTest, TrimRemovesBothEnds) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, SplitEmptyString) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringsTest, IequalsIgnoresCase) {
+  EXPECT_TRUE(iequals("NAND", "nand"));
+  EXPECT_TRUE(iequals("NaNd", "nAnD"));
+  EXPECT_FALSE(iequals("NAND", "NOR"));
+  EXPECT_FALSE(iequals("NAND", "NAN"));
+}
+
+TEST(StringsTest, ToUpper) {
+  EXPECT_EQ(to_upper("dff"), "DFF");
+  EXPECT_EQ(to_upper("G17"), "G17");
+}
+
+TEST(StringsTest, ParseUintAcceptsDigitsOnly) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_uint("123", v));
+  EXPECT_EQ(v, 123u);
+  EXPECT_TRUE(parse_uint("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_FALSE(parse_uint("", v));
+  EXPECT_FALSE(parse_uint("12a", v));
+  EXPECT_FALSE(parse_uint("-1", v));
+}
+
+TEST(StringsTest, Strprintf) {
+  EXPECT_EQ(strprintf("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(strprintf("%.2f", 1.0 / 3.0), "0.33");
+  EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace satdiag

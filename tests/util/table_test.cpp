@@ -1,0 +1,46 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace satdiag {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  TablePrinter t({"a", "long"});
+  t.add_row({"xxxx", "1"});
+  const std::string out = t.to_string();
+  // Header, separator, one row.
+  EXPECT_NE(out.find("a     long"), std::string::npos);
+  EXPECT_NE(out.find("xxxx  1"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  TablePrinter t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  TablePrinter t({"x", "y", "z"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "x,y,z\n1,,\n");
+}
+
+TEST(TableTest, FormatSeconds) {
+  EXPECT_EQ(format_seconds(0.005), "0.01");
+  EXPECT_EQ(format_seconds(34.211), "34.21");
+  EXPECT_EQ(format_seconds(0.0), "0.00");
+}
+
+TEST(TableTest, FormatStatHandlesNan) {
+  EXPECT_EQ(format_stat(2.5), "2.50");
+  EXPECT_EQ(format_stat(std::nan("")), "-");
+}
+
+}  // namespace
+}  // namespace satdiag

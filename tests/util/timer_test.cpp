@@ -1,0 +1,53 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace satdiag {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotone) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  (void)sink;
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.5);
+}
+
+TEST(TimerTest, MillisecondsMatchesSeconds) {
+  Timer t;
+  const double s = t.seconds();
+  const double ms = t.milliseconds();
+  EXPECT_GE(ms, s * 1e3 * 0.5);
+}
+
+TEST(DeadlineTest, UnlimitedNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.limited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 1e20);
+}
+
+TEST(DeadlineTest, PastDeadlineExpires) {
+  const Deadline d = Deadline::after_seconds(-1.0);
+  EXPECT_TRUE(d.limited());
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotExpired) {
+  const Deadline d = Deadline::after_seconds(60.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 30.0);
+  EXPECT_LT(d.remaining_seconds(), 61.0);
+}
+
+}  // namespace
+}  // namespace satdiag

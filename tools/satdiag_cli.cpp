@@ -1,0 +1,266 @@
+// satdiag — command-line front end.
+//
+// Subcommands:
+//   gen       --profile <name> [--scale S] [--seed N] --out circuit.bench
+//   stats     circuit.bench
+//   inject    circuit.bench --errors P [--seed N] --out faulty.bench
+//             --tests-out tests.txt [--num-tests M]
+//             (circuits with DFFs are converted to the full-scan view first)
+//   diagnose  faulty.bench --tests tests.txt --approach bsim|cov|bsat|hybrid
+//             [--k K] [--limit SECONDS] [--max-solutions N]
+//   repair    faulty.bench --tests tests.txt --gates g1,g2,...
+//
+// The bench format is ISCAS89 .bench; the test format is documented in
+// src/report/testfile.hpp.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_parser.hpp"
+#include "bench/bench_writer.hpp"
+#include "diag/bsat.hpp"
+#include "diag/cover.hpp"
+#include "diag/hybrid.hpp"
+#include "fault/injector.hpp"
+#include "fault/testgen.hpp"
+#include "gen/profiles.hpp"
+#include "netlist/scan.hpp"
+#include "repair/realize.hpp"
+#include "report/testfile.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+using namespace satdiag;
+
+namespace {
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "satdiag: %s\n", message.c_str());
+  return 2;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: satdiag <gen|stats|inject|diagnose|repair> ...\n"
+               "see tools/satdiag_cli.cpp header for details\n");
+  return 2;
+}
+
+Netlist load_bench(const std::string& path) { return parse_bench_file(path); }
+
+void print_solutions(const Netlist& nl,
+                     const std::vector<std::vector<GateId>>& solutions) {
+  for (const auto& solution : solutions) {
+    std::printf("{");
+    for (std::size_t i = 0; i < solution.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "", nl.gate_name(solution[i]).c_str());
+    }
+    std::printf("}\n");
+  }
+}
+
+int cmd_gen(const CliArgs& args) {
+  const std::string profile_name = args.get_string("profile", "s1423_like");
+  const auto profile = find_profile(profile_name);
+  if (!profile) return fail("unknown profile '" + profile_name + "'");
+  const Netlist nl = make_profile_circuit(
+      *profile, args.get_double("scale", 1.0),
+      static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const std::string out_path = args.get_string("out", "");
+  if (out_path.empty()) return fail("--out required");
+  std::ofstream out(out_path);
+  if (!out) return fail("cannot write '" + out_path + "'");
+  write_bench(out, nl);
+  std::printf("wrote %s: %zu gates, %zu PIs, %zu POs, %zu DFFs\n",
+              out_path.c_str(), nl.size(), nl.inputs().size(),
+              nl.outputs().size(), nl.dffs().size());
+  return 0;
+}
+
+int cmd_stats(const CliArgs& args) {
+  if (args.positional().size() < 2) return fail("stats needs a .bench file");
+  const Netlist nl = load_bench(args.positional()[1]);
+  std::printf("circuit: %s\n", nl.name().c_str());
+  std::printf("  gates (combinational): %zu\n", nl.num_combinational_gates());
+  std::printf("  primary inputs:        %zu\n", nl.inputs().size());
+  std::printf("  primary outputs:       %zu\n", nl.outputs().size());
+  std::printf("  flip-flops:            %zu\n", nl.dffs().size());
+  std::printf("  logic depth:           %u\n", nl.depth());
+  std::size_t per_type[16] = {};
+  for (GateId g = 0; g < nl.size(); ++g) {
+    ++per_type[static_cast<std::size_t>(nl.type(g))];
+  }
+  for (GateType type : {GateType::kAnd, GateType::kNand, GateType::kOr,
+                        GateType::kNor, GateType::kXor, GateType::kXnor,
+                        GateType::kNot, GateType::kBuf}) {
+    const std::size_t n = per_type[static_cast<std::size_t>(type)];
+    if (n > 0) {
+      std::printf("  %-6s %zu\n",
+                  std::string(gate_type_name(type)).c_str(), n);
+    }
+  }
+  return 0;
+}
+
+int cmd_inject(const CliArgs& args) {
+  if (args.positional().size() < 2) return fail("inject needs a .bench file");
+  Netlist nl = load_bench(args.positional()[1]);
+  if (!nl.dffs().empty()) {
+    std::printf("sequential circuit: using the full-scan view\n");
+    nl = make_full_scan(nl).comb;
+  }
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  InjectorOptions inject;
+  inject.num_errors = static_cast<std::size_t>(args.get_int("errors", 1));
+  const auto errors = inject_errors(nl, rng, inject);
+  if (!errors) return fail("no detectable error set found");
+  for (const DesignError& e : *errors) {
+    std::printf("injected: %s (gate '%s')\n", describe_error(e).c_str(),
+                nl.gate_name(error_site(e)).c_str());
+  }
+  const Netlist faulty = apply_errors(nl, *errors);
+
+  const std::string out_path = args.get_string("out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) return fail("cannot write '" + out_path + "'");
+    write_bench(out, faulty);
+    std::printf("wrote faulty netlist to %s\n", out_path.c_str());
+  }
+  const std::string tests_path = args.get_string("tests-out", "");
+  if (!tests_path.empty()) {
+    const std::size_t m =
+        static_cast<std::size_t>(args.get_int("num-tests", 16));
+    const TestSet tests = generate_failing_tests(nl, *errors, m, rng);
+    std::ofstream out(tests_path);
+    if (!out) return fail("cannot write '" + tests_path + "'");
+    write_test_set(out, tests);
+    std::printf("wrote %zu failing tests to %s\n", tests.size(),
+                tests_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_diagnose(const CliArgs& args) {
+  if (args.positional().size() < 2) return fail("diagnose needs a .bench file");
+  Netlist nl = load_bench(args.positional()[1]);
+  if (!nl.dffs().empty()) nl = make_full_scan(nl).comb;
+  const std::string tests_path = args.get_string("tests", "");
+  if (tests_path.empty()) return fail("--tests required");
+  std::ifstream in(tests_path);
+  if (!in) return fail("cannot read '" + tests_path + "'");
+  const TestSet tests = read_test_set(in, nl);
+  if (tests.empty()) return fail("empty test set");
+
+  const unsigned k = static_cast<unsigned>(args.get_int("k", 1));
+  const double limit = args.get_double("limit", 300.0);
+  const std::int64_t cap = args.get_int("max-solutions", -1);
+  const std::string approach = args.get_string("approach", "bsat");
+
+  if (approach == "bsim") {
+    const BsimResult result = basic_sim_diagnose(nl, tests);
+    std::printf("marked %zu gates; Gmax (%u marks):\n",
+                result.marked_union.size(), result.max_marks);
+    for (GateId g : result.gmax) {
+      std::printf("  %s (M=%u)\n", nl.gate_name(g).c_str(),
+                  result.mark_count[g]);
+    }
+    return 0;
+  }
+  if (approach == "cov") {
+    CovOptions options;
+    options.k = k;
+    options.deadline = Deadline::after_seconds(limit);
+    options.max_solutions = cap;
+    const CovResult result = sc_diagnose(nl, tests, options);
+    std::printf("%zu irredundant covers%s:\n", result.solutions.size(),
+                result.complete ? "" : " (truncated)");
+    print_solutions(nl, result.solutions);
+    return 0;
+  }
+  if (approach == "bsat") {
+    BsatOptions options;
+    options.k = k;
+    options.deadline = Deadline::after_seconds(limit);
+    options.max_solutions = cap;
+    const BsatResult result = basic_sat_diagnose(nl, tests, options);
+    std::printf("%zu valid corrections%s (CNF %.2fs, all %.2fs):\n",
+                result.solutions.size(), result.complete ? "" : " (truncated)",
+                result.build_seconds, result.all_seconds);
+    print_solutions(nl, result.solutions);
+    return 0;
+  }
+  if (approach == "hybrid") {
+    HybridOptions options;
+    options.mode = HybridMode::kSeedActivity;
+    options.k = k;
+    options.deadline = Deadline::after_seconds(limit);
+    options.max_solutions = cap;
+    const HybridResult result = hybrid_diagnose(nl, tests, options);
+    std::printf("%zu valid corrections (sim %.2fs + sat %.2fs):\n",
+                result.solutions.size(), result.sim_seconds,
+                result.sat_seconds);
+    print_solutions(nl, result.solutions);
+    return 0;
+  }
+  return fail("unknown approach '" + approach + "'");
+}
+
+int cmd_repair(const CliArgs& args) {
+  if (args.positional().size() < 2) return fail("repair needs a .bench file");
+  Netlist nl = load_bench(args.positional()[1]);
+  if (!nl.dffs().empty()) nl = make_full_scan(nl).comb;
+  const std::string tests_path = args.get_string("tests", "");
+  if (tests_path.empty()) return fail("--tests required");
+  std::ifstream in(tests_path);
+  if (!in) return fail("cannot read '" + tests_path + "'");
+  const TestSet tests = read_test_set(in, nl);
+
+  std::vector<GateId> gates;
+  for (std::string_view name : split(args.get_string("gates", ""), ',')) {
+    name = trim(name);
+    if (name.empty()) continue;
+    const GateId g = nl.find(name);
+    if (g == kNoGate) return fail("unknown gate '" + std::string(name) + "'");
+    gates.push_back(g);
+  }
+  if (gates.empty()) return fail("--gates g1,g2,... required");
+
+  const RepairResult result = realize_correction(nl, tests, gates);
+  if (!result.consistent) {
+    std::printf("no consistent local-function repair for this correction\n");
+    return 1;
+  }
+  for (const GateRepair& repair : result.repairs) {
+    std::printf("gate %s: fitted table ", nl.gate_name(repair.gate).c_str());
+    for (bool b : repair.truth_table) std::printf("%d", b ? 1 : 0);
+    if (repair.matching_type) {
+      std::printf("  == %s",
+                  std::string(gate_type_name(*repair.matching_type)).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("verification against the test-set: %s\n",
+              result.verified ? "PASS" : "FAIL");
+  return result.verified ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  CliArgs args;
+  std::string error;
+  if (!args.parse(argc, argv, error)) return fail(error);
+  const std::string command = argv[1];
+  try {
+    if (command == "gen") return cmd_gen(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "inject") return cmd_inject(args);
+    if (command == "diagnose") return cmd_diagnose(args);
+    if (command == "repair") return cmd_repair(args);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  return usage();
+}
