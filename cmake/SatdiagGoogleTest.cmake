@@ -1,0 +1,26 @@
+# Resolve GoogleTest: prefer a system package, fall back to FetchContent.
+# The fallback needs network access at configure time, so it is only
+# attempted when no system install exists.
+#
+# Provides: GTest::gtest_main, and includes the GoogleTest module so callers
+# can use gtest_discover_tests().
+
+find_package(GTest QUIET)
+if(GTest_FOUND)
+  message(STATUS "Using system GoogleTest (${GTest_DIR})")
+else()
+  message(STATUS "System GoogleTest not found - fetching v1.14.0")
+  include(FetchContent)
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  # Keep gtest out of our install set and compatible with shared CRT on MSVC.
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()
+
+include(GoogleTest)

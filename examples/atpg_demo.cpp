@@ -26,7 +26,9 @@ int main(int argc, char** argv) {
   Netlist nl("needle");
   std::vector<GateId> ins;
   for (std::size_t i = 0; i < n; ++i) {
-    ins.push_back(nl.add_input("i" + std::to_string(i)));
+    std::string name = "i";
+    name += std::to_string(i);
+    ins.push_back(nl.add_input(name));
   }
   const GateId g = nl.add_gate(GateType::kAnd, "g", ins);
   const GateId o = nl.add_gate(GateType::kBuf, "o", {g});

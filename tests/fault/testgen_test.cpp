@@ -74,7 +74,9 @@ TEST(TestGenTest, AtpgFallbackOnHardFault) {
   Netlist nl;
   std::vector<GateId> ins;
   for (int i = 0; i < 16; ++i) {
-    ins.push_back(nl.add_input("i" + std::to_string(i)));
+    std::string name = "i";
+    name += std::to_string(i);
+    ins.push_back(nl.add_input(name));
   }
   const GateId g = nl.add_gate(GateType::kAnd, "g", ins);
   const GateId o = nl.add_gate(GateType::kBuf, "o", {g});

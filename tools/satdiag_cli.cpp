@@ -12,9 +12,12 @@
 //
 // The bench format is ISCAS89 .bench; the test format is documented in
 // src/report/testfile.hpp.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <vector>
 
 #include "bench/bench_parser.hpp"
 #include "bench/bench_writer.hpp"
@@ -39,10 +42,14 @@ int fail(const std::string& message) {
   return 2;
 }
 
-int usage() {
-  std::fprintf(stderr,
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: satdiag <gen|stats|inject|diagnose|repair> ...\n"
                "see tools/satdiag_cli.cpp header for details\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
 }
 
@@ -245,14 +252,49 @@ int cmd_repair(const CliArgs& args) {
   return result.verified ? 0 : 1;
 }
 
+// Flags each subcommand understands; anything else is a typo and must not
+// silently fall back to defaults (cmd_* query flags lazily, interleaved with
+// work, so this is checked up front rather than via unused() afterwards).
+const std::map<std::string, std::vector<std::string>> kKnownFlags = {
+    {"gen", {"profile", "scale", "seed", "out"}},
+    {"stats", {}},
+    {"inject", {"seed", "errors", "out", "tests-out", "num-tests"}},
+    {"diagnose", {"tests", "approach", "k", "limit", "max-solutions"}},
+    {"repair", {"tests", "gates"}},
+};
+
+int check_flags(const std::string& command, const CliArgs& args) {
+  const auto it = kKnownFlags.find(command);
+  if (it == kKnownFlags.end()) return 0;  // unknown command: usage() handles it
+  // Before any get_* call every parsed flag is still "unused", i.e. this
+  // yields the full set of flags the user passed.
+  for (const std::string& flag : args.unused()) {
+    if (std::find(it->second.begin(), it->second.end(), flag) ==
+        it->second.end()) {
+      return fail("unknown flag --" + flag + " for '" + command + "'");
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  // `satdiag --help`, `satdiag help`, and `satdiag <cmd> --help` all print
+  // usage and exit 0.
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h" || (i == 1 && arg == "help")) {
+      print_usage(stdout);
+      return 0;
+    }
+  }
   CliArgs args;
   std::string error;
   if (!args.parse(argc, argv, error)) return fail(error);
   const std::string command = argv[1];
+  if (const int rc = check_flags(command, args)) return rc;
   try {
     if (command == "gen") return cmd_gen(args);
     if (command == "stats") return cmd_stats(args);
