@@ -24,12 +24,14 @@ Netlist bench_circuit(std::size_t gates, std::uint64_t seed = 31) {
 }
 
 void BM_ParallelSimulation(benchmark::State& state) {
+  // Full-sweep throughput of the compiled kernel. With unchanged inputs the
+  // incremental run() is a no-op, so force the stream path via run_full().
   const Netlist nl = bench_circuit(static_cast<std::size_t>(state.range(0)));
   ParallelSimulator sim(nl);
   Rng rng(1);
   for (GateId in : nl.inputs()) sim.set_source(in, rng.next_u64());
   for (auto _ : state) {
-    sim.run();
+    sim.run_full();
     benchmark::DoNotOptimize(sim.value(nl.outputs()[0]));
   }
   // 64 patterns per run.
@@ -40,6 +42,31 @@ void BM_ParallelSimulation(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ParallelSimulation)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_IncrementalFaultResim(benchmark::State& state) {
+  // The diagnosis inner loop: one stuck-at override per iteration, cone-only
+  // resimulation, then revert. Compare with BM_ParallelSimulation to see the
+  // O(circuit) -> O(cone) win.
+  const Netlist nl = bench_circuit(static_cast<std::size_t>(state.range(0)));
+  ParallelSimulator sim(nl);
+  Rng rng(1);
+  for (GateId in : nl.inputs()) sim.set_source(in, rng.next_u64());
+  sim.run();
+  std::vector<GateId> sites;
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (nl.is_combinational(g)) sites.push_back(g);
+  }
+  std::size_t next = 0;
+  for (auto _ : state) {
+    const GateId g = sites[next++ % sites.size()];
+    sim.set_value_override(g, 0ULL);
+    sim.run();
+    benchmark::DoNotOptimize(sim.value(nl.outputs()[0]));
+    sim.clear_overrides();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_IncrementalFaultResim)->Arg(1000)->Arg(5000)->Arg(20000);
 
 void BM_PathTrace(benchmark::State& state) {
   const Netlist nl = bench_circuit(static_cast<std::size_t>(state.range(0)));

@@ -1,0 +1,109 @@
+// Simulation-bound fault-injection benchmark.
+//
+// Exhaustive single-stuck-at fault simulation: for every combinational gate
+// and both polarities, override the gate, resimulate 64 random patterns, and
+// check detection at the observation points. This is the diagnosis engines'
+// inner loop shape (one small change per candidate, full readback), so it
+// measures exactly what dirty-cone incremental resimulation accelerates:
+// a full-resim simulator pays O(|circuit|) per candidate, a cone-limited one
+// O(|fanout cone|).
+//
+// Uses only the public ParallelSimulator API so the same driver binary is
+// meaningful before and after engine changes (see tools/bench_runner.py).
+//
+// Run:  ./bench_fault_sim [--profile s5378_like] [--scale 1.0] [--seed 1]
+//       [--rounds 2] [--json]
+#include <cstdio>
+#include <vector>
+
+#include "gen/profiles.hpp"
+#include "netlist/scan.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace satdiag;
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  std::string error;
+  if (!args.parse(argc, argv, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  const std::string profile_name = args.get_string("profile", "s5378_like");
+  const double scale = args.get_double("scale", 1.0);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::size_t rounds =
+      static_cast<std::size_t>(args.get_int("rounds", 2));
+  const bool json = args.get_bool("json", false);
+  // A typo'd flag must not silently fall back to a default workload: the
+  // recorded BENCH_*.json timings would compare different work.
+  for (const std::string& flag : args.unused()) {
+    std::fprintf(stderr, "unknown flag --%s\n", flag.c_str());
+    return 2;
+  }
+
+  const auto profile = find_profile(profile_name);
+  if (!profile) {
+    std::fprintf(stderr, "unknown profile '%s'\n", profile_name.c_str());
+    return 1;
+  }
+  const Netlist nl =
+      make_full_scan(make_profile_circuit(*profile, scale, seed)).comb;
+
+  std::vector<GateId> sites;
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (nl.is_combinational(g)) sites.push_back(g);
+  }
+
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  ParallelSimulator sim(nl);
+  std::vector<std::uint64_t> golden(nl.outputs().size());
+
+  std::size_t faults = 0;
+  std::size_t detected = 0;
+  Timer timer;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (GateId in : nl.inputs()) sim.set_source(in, rng.next_u64());
+    sim.run();
+    for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+      golden[i] = sim.value(nl.outputs()[i]);
+    }
+    for (GateId g : sites) {
+      for (int polarity = 0; polarity < 2; ++polarity) {
+        sim.set_value_override(g, polarity ? ~0ULL : 0ULL);
+        sim.run();
+        ++faults;
+        std::uint64_t diff = 0;
+        for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+          diff |= golden[i] ^ sim.value(nl.outputs()[i]);
+        }
+        if (diff != 0) ++detected;
+        sim.clear_overrides();
+      }
+    }
+  }
+  const double seconds = timer.seconds();
+
+  const double fault_patterns =
+      static_cast<double>(faults) * 64.0;  // 64 patterns per word
+  if (json) {
+    std::printf(
+        "{\"bench\":\"fault_sim\",\"profile\":\"%s\",\"scale\":%.3f,"
+        "\"gates\":%zu,\"faults\":%zu,\"detected\":%zu,\"rounds\":%zu,"
+        "\"seconds\":%.6f,\"fault_patterns_per_second\":%.0f}\n",
+        profile_name.c_str(), scale, nl.size(), faults, detected, rounds,
+        seconds, fault_patterns / seconds);
+  } else {
+    std::printf("# exhaustive stuck-at fault simulation on %s (%zu gates)\n",
+                profile_name.c_str(), nl.size());
+    std::printf("faults simulated:   %zu (x64 patterns)\n", faults);
+    std::printf("faults detected:    %zu\n", detected);
+    std::printf("elapsed:            %.3f s\n", seconds);
+    std::printf("fault-patterns/s:   %.0f\n", fault_patterns / seconds);
+  }
+  return 0;
+}

@@ -70,7 +70,9 @@ BsatResult basic_sat_diagnose(const Netlist& nl, const TestSet& tests,
         blocking.push_back(sat::neg(inst.select_var[inst.select_index[g]]));
       }
       result.solutions.push_back(std::move(correction));
-      if (blocking.empty() || !solver.add_clause(std::move(blocking))) {
+      // block_model keeps the search trail alive: the next solve() with the
+      // same assumptions resumes instead of replaying the whole instance.
+      if (blocking.empty() || !solver.block_model(std::move(blocking))) {
         // Empty correction satisfies every test (cannot happen with failing
         // tests) or the instance became UNSAT: enumeration finished.
         result.all_seconds = solve_timer.seconds();

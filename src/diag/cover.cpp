@@ -130,9 +130,10 @@ CovResult solve_covering_sat(const std::vector<std::vector<GateId>>& sets,
         result.solutions.push_back(cover);
       }
       // Subset blocking: any superset of an irredundant cover is redundant.
+      // block_model resumes the search in place on the next solve().
       sat::Clause blocking;
       for (GateId g : cover) blocking.push_back(sat::neg(var_of[g]));
-      if (!solver.add_clause(std::move(blocking))) {
+      if (!solver.block_model(std::move(blocking))) {
         result.all_seconds = solve_timer.seconds();
         if (!first_recorded) result.first_seconds = result.all_seconds;
         return result;

@@ -14,11 +14,13 @@
 namespace satdiag {
 namespace {
 
-std::vector<bool> extract_vector(const ParallelSimulator& sim,
-                                 const Netlist& nl, std::size_t bit) {
+std::vector<bool> extract_vector(const std::vector<std::uint64_t>& input_words,
+                                 std::size_t bit) {
   std::vector<bool> v;
-  v.reserve(nl.inputs().size());
-  for (GateId in : nl.inputs()) v.push_back(sim.value_bit(in, bit));
+  v.reserve(input_words.size());
+  for (const std::uint64_t word : input_words) {
+    v.push_back((word >> bit) & 1ULL);
+  }
   return v;
 }
 
@@ -99,44 +101,51 @@ TestSet generate_failing_tests(const Netlist& nl, const ErrorList& errors,
   TestSet tests;
   std::set<std::vector<bool>> used_vectors;
 
-  ParallelSimulator golden(nl);
-  ParallelSimulator faulty(nl);
-  configure_faulty_simulator(faulty, errors);
+  // One simulator runs both personalities per word: a full golden sweep,
+  // then an incremental faulty sweep that re-evaluates only the error cones.
+  ParallelSimulator sim(nl);
+  std::vector<std::uint64_t> input_words(nl.inputs().size());
+  std::vector<std::uint64_t> golden_out(nl.outputs().size());
 
   for (std::size_t w = 0;
        w < options.max_random_words && tests.size() < count; ++w) {
     if (options.deadline.expired()) return tests;
-    for (GateId in : nl.inputs()) {
-      const std::uint64_t word = rng.next_u64();
-      golden.set_source(in, word);
-      faulty.set_source(in, word);
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      input_words[i] = rng.next_u64();
+      sim.set_source(nl.inputs()[i], input_words[i]);
     }
-    golden.run();
-    faulty.run();
+    sim.run();
+    for (std::size_t oi = 0; oi < nl.outputs().size(); ++oi) {
+      golden_out[oi] = sim.value(nl.outputs()[oi]);
+    }
+    configure_faulty_simulator(sim, errors);
+    sim.run();
     // Which pattern slots fail at all?
     std::uint64_t fail_mask = 0;
-    for (GateId o : nl.outputs()) {
-      fail_mask |= golden.value(o) ^ faulty.value(o);
+    for (std::size_t oi = 0; oi < nl.outputs().size(); ++oi) {
+      fail_mask |= golden_out[oi] ^ sim.value(nl.outputs()[oi]);
     }
     while (fail_mask != 0 && tests.size() < count) {
       const int bit = std::countr_zero(fail_mask);
       fail_mask &= fail_mask - 1;
-      std::vector<bool> vec = extract_vector(golden, nl,
-                                             static_cast<std::size_t>(bit));
+      std::vector<bool> vec =
+          extract_vector(input_words, static_cast<std::size_t>(bit));
       if (!used_vectors.insert(vec).second) continue;
       std::size_t added = 0;
       for (std::size_t oi = 0;
            oi < nl.outputs().size() && tests.size() < count &&
            added < options.max_triples_per_vector;
            ++oi) {
-        const GateId o = nl.outputs()[oi];
-        const std::uint64_t diff = golden.value(o) ^ faulty.value(o);
+        const std::uint64_t diff =
+            golden_out[oi] ^ sim.value(nl.outputs()[oi]);
         if ((diff >> bit) & 1ULL) {
-          tests.push_back(Test{vec, oi, golden.value_bit(o, static_cast<std::size_t>(bit))});
+          tests.push_back(
+              Test{vec, oi, ((golden_out[oi] >> bit) & 1ULL) != 0});
           ++added;
         }
       }
     }
+    sim.clear_overrides();
   }
   if (tests.size() >= count || !options.use_atpg_fallback) return tests;
 
@@ -201,12 +210,12 @@ TestSet generate_failing_tests(const Netlist& nl, const ErrorList& errors,
         ++added;
       }
     }
-    // Block this input cube.
+    // Block this input cube (in-search: the next solve() resumes in place).
     sat::Clause block;
     for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
       block.push_back(gold_enc.lit(nl.inputs()[i], /*negated=*/vec[i]));
     }
-    if (!solver.add_clause(std::move(block))) break;
+    if (!solver.block_model(std::move(block))) break;
   }
   return tests;
 }

@@ -20,34 +20,43 @@ Netlist build_circuit(const ExperimentConfig& config) {
 
 std::optional<PreparedExperiment> prepare_experiment(
     const ExperimentConfig& config) {
-  PreparedExperiment prepared;
   const Netlist sequential = build_circuit(config);
-  prepared.golden = make_full_scan(sequential).comb;
+  const Netlist golden = make_full_scan(sequential).comb;
 
-  Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL);
-  InjectorOptions inject;
-  inject.num_errors = config.num_errors;
-  auto errors = inject_errors(prepared.golden, rng, inject);
-  if (!errors) {
-    SATDIAG_WARN() << "experiment " << config.circuit
-                   << ": no detectable error set found";
-    return std::nullopt;
-  }
-  prepared.errors = *errors;
-  prepared.error_sites = error_sites(prepared.errors);
-  prepared.faulty = apply_errors(prepared.golden, prepared.errors);
+  for (std::size_t attempt = 0; attempt <= config.seed_retries; ++attempt) {
+    PreparedExperiment prepared;
+    prepared.golden = golden;
+    // Attempt 0 matches the historical single-seed stream exactly; each
+    // retry perturbs the stream deterministically.
+    Rng rng((config.seed + attempt * 0x517cc1b727220a95ULL) *
+                0x9e3779b97f4a7c15ULL +
+            0x7f4a7c15ULL);
+    InjectorOptions inject;
+    inject.num_errors = config.num_errors;
+    auto errors = inject_errors(prepared.golden, rng, inject);
+    if (!errors) {
+      SATDIAG_WARN() << "experiment " << config.circuit
+                     << ": no detectable error set found (attempt " << attempt
+                     << ")";
+      continue;
+    }
+    prepared.errors = *errors;
+    prepared.error_sites = error_sites(prepared.errors);
+    prepared.faulty = apply_errors(prepared.golden, prepared.errors);
 
-  TestGenOptions testgen;
-  testgen.deadline = Deadline::after_seconds(config.time_limit_seconds);
-  prepared.tests = generate_failing_tests(prepared.golden, prepared.errors,
-                                          config.num_tests, rng, testgen);
-  if (prepared.tests.size() < config.num_tests) {
-    SATDIAG_WARN() << "experiment " << config.circuit << ": only "
-                   << prepared.tests.size() << "/" << config.num_tests
-                   << " failing tests";
-    if (prepared.tests.empty()) return std::nullopt;
+    TestGenOptions testgen;
+    testgen.deadline = Deadline::after_seconds(config.time_limit_seconds);
+    prepared.tests = generate_failing_tests(prepared.golden, prepared.errors,
+                                            config.num_tests, rng, testgen);
+    if (prepared.tests.size() < config.num_tests) {
+      SATDIAG_WARN() << "experiment " << config.circuit << ": only "
+                     << prepared.tests.size() << "/" << config.num_tests
+                     << " failing tests (attempt " << attempt << ")";
+      if (prepared.tests.empty()) continue;
+    }
+    return prepared;
   }
-  return prepared;
+  return std::nullopt;
 }
 
 ExperimentRow run_experiment(const PreparedExperiment& prepared,

@@ -26,6 +26,11 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
   double time_limit_seconds = 1800.0;  // paper: 30 CPU-minutes
   std::int64_t max_solutions = -1;
+  /// Extra deterministic injection/testgen seed attempts when the first one
+  /// yields no detectable error or no failing tests. Attempt 0 reproduces
+  /// the historical single-try behaviour bit for bit; the circuit itself is
+  /// derived from `seed` alone and never changes across attempts.
+  std::size_t seed_retries = 4;
 };
 
 struct PreparedExperiment {

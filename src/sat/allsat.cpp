@@ -40,7 +40,9 @@ AllSatResult enumerate_all(Solver& solver, const std::vector<Var>& projection,
       result.complete = true;
       return result;
     }
-    if (!solver.add_clause(std::move(blocking))) {
+    // In-search blocking: keeps the trail so the next solve() continues
+    // where this model was found instead of replaying the search.
+    if (!solver.block_model(std::move(blocking))) {
       result.complete = true;
       return result;
     }

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace satdiag::sat {
 
@@ -12,6 +13,12 @@ namespace satdiag::sat {
 
 Solver::CRef Solver::Arena::alloc(std::span<const Lit> lits, bool learnt) {
   const CRef cref = static_cast<CRef>(data.size());
+  // Crefs must stay below the binary-reason tag bit (see kBinReasonFlag);
+  // past it, is_bin_reason() would misread arena references as literal
+  // tags, so fail loudly rather than corrupt reasons in release builds.
+  if (cref >= kBinReasonFlag) {
+    throw std::length_error("sat arena exceeds 2^31 words");
+  }
   data.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
                  (learnt ? 2u : 0u));
   data.push_back(std::bit_cast<std::uint32_t>(0.0f));
@@ -44,12 +51,14 @@ Var Solver::new_var(bool decidable, bool default_phase) {
   model_.push_back(LBool::kUndef);
   watches_.emplace_back();
   watches_.emplace_back();
+  bin_watches_.emplace_back();
+  bin_watches_.emplace_back();
   if (decidable) heap_insert(v);
   return v;
 }
 
 bool Solver::add_clause(Clause lits) {
-  assert(decision_level() == 0);
+  if (decision_level() != 0) cancel_until(0);  // leftover solve() trail
   if (!ok_) return false;
   std::sort(lits.begin(), lits.end());
   Lit prev = Lit::undef();
@@ -70,14 +79,111 @@ bool Solver::add_clause(Clause lits) {
     ok_ = (propagate() == kCRefUndef);
     return ok_;
   }
+  if (lits.size() == 2) {
+    attach_binary(lits[0], lits[1]);
+    ++num_bin_clauses_;
+    return true;
+  }
   const CRef cref = arena_.alloc(lits, /*learnt=*/false);
   clauses_.push_back(cref);
   attach_clause(cref);
   return true;
 }
 
+bool Solver::block_model(Clause lits) {
+  if (!ok_) return false;
+  if (decision_level() == 0) return add_clause(std::move(lits));
+
+  // Root-level simplification only: literals decided at level 0 are
+  // permanent, everything else must stay in the clause.
+  std::sort(lits.begin(), lits.end());
+  Lit prev = Lit::undef();
+  std::size_t out = 0;
+  for (Lit l : lits) {
+    const auto v = static_cast<std::size_t>(l.var());
+    if (value(l.var()) != LBool::kUndef && vardata_[v].level == 0) {
+      if (value(l) == LBool::kTrue) return true;  // satisfied forever
+      continue;                                   // false forever
+    }
+    if (l == ~prev) return true;  // tautology
+    if (l != prev) lits[out++] = prev = l;
+  }
+  lits.resize(out);
+  if (lits.empty()) {
+    ok_ = false;
+    return false;
+  }
+  // The fast path handles the blocking-clause shape: every remaining
+  // literal false (or unassigned after an earlier backjump). Anything else
+  // goes through the root-level path.
+  for (Lit l : lits) {
+    if (value(l) == LBool::kTrue) return add_clause(std::move(lits));
+    // See the header: in-search blocking is only complete over decision
+    // variables (the search must be able to re-decide a literal that a
+    // later backjump unassigns).
+    assert(decision_[static_cast<std::size_t>(l.var())]);
+  }
+
+  // Order by decreasing assignment level, unassigned literals first, so
+  // lits[0]/lits[1] are the correct watches after the backjump.
+  constexpr int kUnassigned = 0x7fffffff;
+  const auto lit_level = [&](Lit l) {
+    const auto v = static_cast<std::size_t>(l.var());
+    return value(l.var()) == LBool::kUndef ? kUnassigned : vardata_[v].level;
+  };
+  std::sort(lits.begin(), lits.end(), [&](Lit a, Lit b) {
+    return lit_level(a) > lit_level(b);
+  });
+
+  if (lits.size() == 1) {
+    cancel_until(0);
+    if (value(lits[0]) == LBool::kUndef) {
+      unchecked_enqueue(lits[0], kCRefUndef);
+      ok_ = (propagate() == kCRefUndef);
+    }
+    return ok_;
+  }
+
+  // Chronological backtracking: undo only the levels at and above the
+  // highest literal, keeping the rest of the trail alive. The clause then
+  // has >= 1 free literal; if it is unit it is enqueued below, and the
+  // next solve() resumes from here instead of replaying the search.
+  const int top = lit_level(lits[0]);
+  if (top != kUnassigned) cancel_until(top - 1);
+  assert(value(lits[0]) == LBool::kUndef);
+
+  if (lits.size() == 2) {
+    attach_binary(lits[0], lits[1]);
+    ++num_bin_clauses_;
+    if (value(lits[1]) == LBool::kFalse) {
+      unchecked_enqueue(lits[0], bin_reason(lits[1]));
+    }
+    return true;
+  }
+  const CRef cref = arena_.alloc(lits, /*learnt=*/false);
+  clauses_.push_back(cref);
+  attach_clause(cref);
+  if (value(lits[1]) == LBool::kFalse) {
+    unchecked_enqueue(lits[0], cref);
+  }
+  return true;
+}
+
+std::size_t Solver::num_clauses() const {
+  return clauses_.size() + num_bin_clauses_;
+}
+
+std::size_t Solver::num_learnts() const {
+  return learnts_.size() + num_bin_learnts_;
+}
+
+void Solver::attach_binary(Lit a, Lit b) {
+  bin_watches_[static_cast<std::size_t>((~a).index())].push_back({b});
+  bin_watches_[static_cast<std::size_t>((~b).index())].push_back({a});
+}
+
 void Solver::attach_clause(CRef c) {
-  assert(arena_.size(c) >= 2);
+  assert(arena_.size(c) >= 3);
   const Lit l0 = arena_.lit(c, 0);
   const Lit l1 = arena_.lit(c, 1);
   watches_[static_cast<std::size_t>((~l0).index())].push_back({c, l1});
@@ -117,15 +223,44 @@ void Solver::unchecked_enqueue(Lit p, CRef reason) {
 
 Solver::CRef Solver::propagate() {
   CRef conflict = kCRefUndef;
+  // Branchless truth lookup for the hot loop: LBool's underlying value XOR
+  // the literal sign gives 0 = true, 1 = false, >= 2 = unassigned.
+  static_assert(static_cast<int>(LBool::kTrue) == 0 &&
+                static_cast<int>(LBool::kFalse) == 1 &&
+                static_cast<int>(LBool::kUndef) == 2);
+  const LBool* const assigns = assigns_.data();
+  const auto val = [assigns](Lit l) -> unsigned {
+    return static_cast<unsigned>(static_cast<std::uint8_t>(
+               assigns[static_cast<std::size_t>(l.var())])) ^
+           static_cast<unsigned>(l.sign());
+  };
   while (qhead_ < static_cast<int>(trail_.size())) {
     const Lit p = trail_[static_cast<std::size_t>(qhead_++)];
     ++stats_.propagations;
+    // Binary implications first: one cache line per watcher, no arena access,
+    // no watch movement, and any conflict is found before touching the
+    // heavier long-clause lists.
+    for (const BinWatcher w :
+         bin_watches_[static_cast<std::size_t>(p.index())]) {
+      const unsigned v = val(w.implied);
+      if (v == 1u) {
+        conflict = bin_reason(w.implied);
+        bin_conflict_other_ = ~p;
+        qhead_ = static_cast<int>(trail_.size());
+        break;
+      }
+      if (v >= 2u) {
+        ++stats_.binary_propagations;
+        unchecked_enqueue(w.implied, bin_reason(~p));
+      }
+    }
+    if (conflict != kCRefUndef) break;
     auto& list = watches_[static_cast<std::size_t>(p.index())];
     std::size_t i = 0;
     std::size_t j = 0;
     while (i < list.size()) {
       const Watcher w = list[i];
-      if (value(w.blocker) == LBool::kTrue) {
+      if (val(w.blocker) == 0u) {
         list[j++] = list[i++];
         continue;
       }
@@ -137,7 +272,7 @@ Solver::CRef Solver::propagate() {
       }
       ++i;
       const Lit first = arena_.lit(c, 0);
-      if (first != w.blocker && value(first) == LBool::kTrue) {
+      if (first != w.blocker && val(first) == 0u) {
         list[j++] = {c, first};
         continue;
       }
@@ -146,7 +281,7 @@ Solver::CRef Solver::propagate() {
       bool moved = false;
       for (std::uint32_t k = 2; k < size; ++k) {
         const Lit lk = arena_.lit(c, k);
-        if (value(lk) != LBool::kFalse) {
+        if (val(lk) != 1u) {
           arena_.set_lit(c, 1, lk);
           arena_.set_lit(c, k, ~p);
           watches_[static_cast<std::size_t>((~lk).index())].push_back(
@@ -158,7 +293,7 @@ Solver::CRef Solver::propagate() {
       if (moved) continue;
       // Unit or conflicting.
       list[j++] = {c, first};
-      if (value(first) == LBool::kFalse) {
+      if (val(first) == 1u) {
         conflict = c;
         qhead_ = static_cast<int>(trail_.size());
         while (i < list.size()) list[j++] = list[i++];
@@ -307,10 +442,16 @@ void Solver::analyze(CRef conflict, Clause& out_learnt, int& out_btlevel,
   CRef reason = conflict;
   do {
     assert(reason != kCRefUndef);
-    if (arena_.learnt(reason)) cla_bump_activity(reason);
-    const std::uint32_t size = arena_.size(reason);
+    const bool bin = is_bin_reason(reason);
+    if (!bin && arena_.learnt(reason)) cla_bump_activity(reason);
+    const std::uint32_t size = bin ? 2 : arena_.size(reason);
     for (std::uint32_t i = (p == Lit::undef() ? 0 : 1); i < size; ++i) {
-      const Lit q = arena_.lit(reason, i);
+      // Binary reasons store only the "other" literal; a binary conflict
+      // additionally carries its second literal in bin_conflict_other_.
+      const Lit q = !bin              ? arena_.lit(reason, i)
+                    : (i == 0)        ? bin_reason_lit(reason)
+                    : p == Lit::undef() ? bin_conflict_other_
+                                        : bin_reason_lit(reason);
       const Var v = q.var();
       if (seen_[static_cast<std::size_t>(v)] ||
           vardata_[static_cast<std::size_t>(v)].level == 0) {
@@ -372,11 +513,12 @@ void Solver::analyze(CRef conflict, Clause& out_learnt, int& out_btlevel,
 
   // Literal-block distance (used only as a statistic here).
   out_lbd = 0;
-  std::vector<int> lbd_seen;
+  lbd_seen_.clear();
   for (Lit l : out_learnt) {
     const int lev = vardata_[static_cast<std::size_t>(l.var())].level;
-    if (std::find(lbd_seen.begin(), lbd_seen.end(), lev) == lbd_seen.end()) {
-      lbd_seen.push_back(lev);
+    if (std::find(lbd_seen_.begin(), lbd_seen_.end(), lev) ==
+        lbd_seen_.end()) {
+      lbd_seen_.push_back(lev);
       ++out_lbd;
     }
   }
@@ -388,16 +530,18 @@ void Solver::analyze(CRef conflict, Clause& out_learnt, int& out_btlevel,
 bool Solver::lit_redundant(Lit p, std::uint32_t abstract_levels) {
   analyze_stack_.clear();
   analyze_stack_.push_back(p);
-  std::vector<Var> to_clear;
+  auto& to_clear = redundant_clear_;
+  to_clear.clear();
   bool redundant = true;
   while (!analyze_stack_.empty() && redundant) {
     const Lit l = analyze_stack_.back();
     analyze_stack_.pop_back();
     const CRef reason = vardata_[static_cast<std::size_t>(l.var())].reason;
     assert(reason != kCRefUndef);
-    const std::uint32_t size = arena_.size(reason);
+    const bool bin = is_bin_reason(reason);
+    const std::uint32_t size = bin ? 2 : arena_.size(reason);
     for (std::uint32_t i = 1; i < size; ++i) {
-      const Lit q = arena_.lit(reason, i);
+      const Lit q = bin ? bin_reason_lit(reason) : arena_.lit(reason, i);
       const Var v = q.var();
       const int level = vardata_[static_cast<std::size_t>(v)].level;
       if (seen_[static_cast<std::size_t>(v)] || level == 0) continue;
@@ -436,9 +580,11 @@ void Solver::analyze_final(Lit p) {
         conflict_.push_back(~trail_[static_cast<std::size_t>(i)]);
       }
     } else {
-      const std::uint32_t size = arena_.size(reason);
+      const bool bin = is_bin_reason(reason);
+      const std::uint32_t size = bin ? 2 : arena_.size(reason);
       for (std::uint32_t j = 1; j < size; ++j) {
-        const Var u = arena_.lit(reason, j).var();
+        const Var u =
+            (bin ? bin_reason_lit(reason) : arena_.lit(reason, j)).var();
         if (vardata_[static_cast<std::size_t>(u)].level > 0) {
           seen_[static_cast<std::size_t>(u)] = true;
         }
@@ -453,8 +599,8 @@ void Solver::analyze_final(Lit p) {
 // Learnt DB management
 
 void Solver::reduce_db() {
-  // Sort learnts by activity and drop the weaker half (never reasons or
-  // binary clauses).
+  // Sort learnts by activity and drop the weaker half (never reasons; binary
+  // learnts never reach this list — they live in the binary layer).
   std::sort(learnts_.begin(), learnts_.end(), [&](CRef a, CRef b) {
     return arena_.activity(a) < arena_.activity(b);
   });
@@ -466,8 +612,7 @@ void Solver::reduce_db() {
   std::size_t out = 0;
   for (std::size_t i = 0; i < learnts_.size(); ++i) {
     const CRef c = learnts_[i];
-    if (arena_.size(c) > 2 && !is_locked(c) &&
-        (i < learnts_.size() / 2)) {
+    if (!is_locked(c) && (i < learnts_.size() / 2)) {
       remove_clause(c);
       ++stats_.removed;
     } else {
@@ -515,7 +660,9 @@ void Solver::garbage_collect() {
       // Stale reason of an unassigned variable may point at a clause that
       // was already removed; it is never read again, so drop it.
       vd.reason = kCRefUndef;
-    } else if (vd.reason != kCRefUndef) {
+    } else if (vd.reason != kCRefUndef && !is_bin_reason(vd.reason)) {
+      // Binary reasons are literal-encoded, not arena references; they
+      // survive garbage collection untouched.
       follow(vd.reason);
     }
   }
@@ -567,13 +714,24 @@ LBool Solver::search() {
     if (conflict != kCRefUndef) {
       ++stats_.conflicts;
       ++conflicts_this_restart;
-      if (decision_level() == 0) return LBool::kFalse;
+      if (decision_level() == 0) {
+        // Root-level conflict: UNSAT independent of assumptions, forever.
+        ok_ = false;
+        return LBool::kFalse;
+      }
       int backtrack_level = 0;
       unsigned lbd = 0;
       analyze(conflict, learnt, backtrack_level, lbd);
       cancel_until(backtrack_level);
       if (learnt.size() == 1) {
         unchecked_enqueue(learnt[0], kCRefUndef);
+      } else if (learnt.size() == 2) {
+        // Learnt binaries go straight to the binary layer and are kept
+        // forever: they are the strongest clauses the search produces.
+        attach_binary(learnt[0], learnt[1]);
+        ++num_bin_learnts_;
+        unchecked_enqueue(learnt[0], bin_reason(learnt[1]));
+        ++stats_.learned;
       } else {
         const CRef cref = arena_.alloc(learnt, /*learnt=*/true);
         learnts_.push_back(cref);
@@ -628,6 +786,16 @@ LBool Solver::search() {
 LBool Solver::solve(std::span<const Lit> assumptions) {
   conflict_.clear();
   if (!ok_) return LBool::kFalse;
+  if (decision_level() > 0) {
+    // Search state left over from a previous satisfiable call (see
+    // block_model): continue in place when the assumptions are unchanged,
+    // otherwise start over.
+    const bool same_assumptions =
+        assumptions.size() == assumptions_.size() &&
+        std::equal(assumptions.begin(), assumptions.end(),
+                   assumptions_.begin());
+    if (!same_assumptions) cancel_until(0);
+  }
   assumptions_.assign(assumptions.begin(), assumptions.end());
   max_learnts_ = std::max<double>(
       static_cast<double>(clauses_.size()) / 3.0, 2000.0);
@@ -642,8 +810,9 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
     for (Var v = 0; v < num_vars(); ++v) {
       model_[static_cast<std::size_t>(v)] = value(v);
     }
-  } else if (status == LBool::kFalse && conflict_.empty()) {
-    // UNSAT independent of assumptions.
+    // Keep the trail: an enumeration loop's block_model() + re-solve
+    // continues from here instead of replaying the whole search.
+    return status;
   }
   cancel_until(0);
   return status;

@@ -2,11 +2,15 @@
 //
 // A from-scratch reimplementation of the Chaff/MiniSat architecture the paper
 // relies on ("conflict-based learning [14] and efficient Boolean constraint
-// propagation [15]"): two-watched-literal BCP, first-UIP learning with
-// recursive clause minimization, EVSIDS decision heuristic with phase saving,
-// Luby restarts, activity-driven learnt-clause reduction with arena GC, and
-// incremental solving under assumptions (the paper's BSAT procedure reuses
-// learnt clauses across the k=1..K iterations this way).
+// propagation [15]"): two-watched-literal BCP with a dedicated out-of-arena
+// binary-clause layer (implication lists drained before long-clause watches,
+// as in CryptoMiniSat/Glucose), first-UIP learning with recursive clause
+// minimization, EVSIDS decision heuristic with phase saving, Luby restarts,
+// activity-driven learnt-clause reduction with arena GC, incremental
+// solving under assumptions (the paper's BSAT procedure reuses learnt
+// clauses across the k=1..K iterations this way), and in-search model
+// blocking (block_model) so all-solutions enumeration continues from the
+// live trail instead of restarting per solution.
 //
 // Extra hooks used by the diagnosis layer:
 //  * decision markers — BSAT restricts decisions to select/correction vars,
@@ -32,11 +36,29 @@ class Solver {
   int num_vars() const { return static_cast<int>(assigns_.size()); }
 
   /// Add a clause; returns false when the formula is already UNSAT at the
-  /// root level. Literals may be unsorted and contain duplicates.
+  /// root level. Literals may be unsorted and contain duplicates. When
+  /// called with a search trail left over from a satisfiable solve() the
+  /// trail is reset first (root-level addition).
   bool add_clause(Clause lits);
   bool add_clause(Lit a) { return add_clause(Clause{a}); }
   bool add_clause(Lit a, Lit b) { return add_clause(Clause{a, b}); }
   bool add_clause(Lit a, Lit b, Lit c) { return add_clause(Clause{a, b, c}); }
+
+  /// Enumeration fast path: add a clause whose literals are all false under
+  /// the current model (a blocking clause) *without* resetting the search.
+  /// The solver backjumps just far enough to make the clause attachable and
+  /// the next solve() with the same assumptions continues in place instead
+  /// of re-deciding and re-propagating the whole trail. Falls back to
+  /// add_clause() semantics when no search state is active; returns false
+  /// when the formula became UNSAT at the root.
+  ///
+  /// Precondition: every literal's variable must be a decision variable
+  /// (the default). Completeness of the in-place continuation relies on the
+  /// search re-deciding a blocking literal that a later backjump unassigns;
+  /// a non-decidable variable could leave the clause silently unsatisfied
+  /// in a "model". All enumeration loops in-tree block over decision
+  /// variables (selects / selectors / inputs).
+  bool block_model(Clause lits);
 
   bool ok() const { return ok_; }
 
@@ -69,6 +91,7 @@ class Solver {
     std::uint64_t conflicts = 0;
     std::uint64_t decisions = 0;
     std::uint64_t propagations = 0;
+    std::uint64_t binary_propagations = 0;
     std::uint64_t restarts = 0;
     std::uint64_t learned = 0;
     std::uint64_t removed = 0;
@@ -76,12 +99,27 @@ class Solver {
   };
   const Stats& stats() const { return stats_; }
 
-  std::size_t num_clauses() const { return clauses_.size(); }
-  std::size_t num_learnts() const { return learnts_.size(); }
+  std::size_t num_clauses() const;
+  std::size_t num_learnts() const;
 
  private:
   using CRef = std::uint32_t;
   static constexpr CRef kCRefUndef = 0xffffffffu;
+
+  // Binary clauses live outside the arena in dedicated watch lists (see
+  // bin_watches_). Their reasons are encoded as the other literal of the
+  // clause with the top bit set, so they fit the CRef-typed reason slots
+  // without allocating; the arena asserts it never grows into the tag range.
+  static constexpr CRef kBinReasonFlag = 0x80000000u;
+  static constexpr bool is_bin_reason(CRef r) {
+    return r != kCRefUndef && (r & kBinReasonFlag) != 0;
+  }
+  static constexpr Lit bin_reason_lit(CRef r) {
+    return Lit::from_index(static_cast<int>(r & ~kBinReasonFlag));
+  }
+  static constexpr CRef bin_reason(Lit other) {
+    return kBinReasonFlag | static_cast<CRef>(other.index());
+  }
 
   // Arena clause layout: [header][activity bits][lits...]
   // header = (size << 2) | (learnt << 1) | deleted.
@@ -111,6 +149,14 @@ class Solver {
     Lit blocker;
   };
 
+  // Watcher for a size-2 clause: when the watching literal becomes false,
+  // `implied` is the only other literal — no arena load, no watch movement,
+  // no replacement-watch scan.
+  struct BinWatcher {
+    Lit implied;
+  };
+
+
   struct VarData {
     CRef reason = kCRefUndef;
     int level = 0;
@@ -123,6 +169,7 @@ class Solver {
   void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
 
   void attach_clause(CRef c);
+  void attach_binary(Lit a, Lit b);
   void detach_clause(CRef c);
   void remove_clause(CRef c);
   void unchecked_enqueue(Lit p, CRef reason);
@@ -157,9 +204,16 @@ class Solver {
 
   bool ok_ = true;
   Arena arena_;
-  std::vector<CRef> clauses_;
-  std::vector<CRef> learnts_;
+  std::vector<CRef> clauses_;  // arena clauses (size >= 3) only
+  std::vector<CRef> learnts_;  // arena learnts (size >= 3) only
   std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
+  // Dedicated binary-clause layer: bin_watches_[l.index()] holds the implied
+  // literals of all binary clauses containing ~l. Binary clauses are never
+  // deleted (they are the strongest learnts) and never garbage collected.
+  std::vector<std::vector<BinWatcher>> bin_watches_;
+  std::size_t num_bin_clauses_ = 0;
+  std::size_t num_bin_learnts_ = 0;
+  Lit bin_conflict_other_ = Lit::undef();  // second literal of a binary conflict
 
   std::vector<LBool> assigns_;
   std::vector<VarData> vardata_;
@@ -184,6 +238,8 @@ class Solver {
   std::vector<bool> seen_;
   std::vector<Lit> analyze_stack_;
   std::vector<Lit> analyze_clear_;
+  std::vector<Var> redundant_clear_;
+  std::vector<int> lbd_seen_;
 
   double max_learnts_ = 0;
   std::int64_t conflict_budget_ = -1;

@@ -4,21 +4,197 @@
 
 namespace satdiag {
 
+// ---------------------------------------------------------------------------
+// Kernel compilation
+
+ParallelSimulator::Op ParallelSimulator::opcode_for(GateType type,
+                                                    std::size_t arity) {
+  if (arity == 1) {
+    // Unary AND/OR/XOR are the identity, unary NAND/NOR/XNOR the inverter.
+    switch (type) {
+      case GateType::kBuf:
+      case GateType::kAnd:
+      case GateType::kOr:
+      case GateType::kXor:
+        return Op::kBuf;
+      case GateType::kNot:
+      case GateType::kNand:
+      case GateType::kNor:
+      case GateType::kXnor:
+        return Op::kNot;
+      default:
+        break;
+    }
+  } else if (arity == 2) {
+    switch (type) {
+      case GateType::kAnd:
+        return Op::kAnd2;
+      case GateType::kNand:
+        return Op::kNand2;
+      case GateType::kOr:
+        return Op::kOr2;
+      case GateType::kNor:
+        return Op::kNor2;
+      case GateType::kXor:
+        return Op::kXor2;
+      case GateType::kXnor:
+        return Op::kXnor2;
+      default:
+        break;
+    }
+  } else {
+    switch (type) {
+      case GateType::kAnd:
+        return Op::kAndK;
+      case GateType::kNand:
+        return Op::kNandK;
+      case GateType::kOr:
+        return Op::kOrK;
+      case GateType::kNor:
+        return Op::kNorK;
+      case GateType::kXor:
+        return Op::kXorK;
+      case GateType::kXnor:
+        return Op::kXnorK;
+      default:
+        break;
+    }
+  }
+  assert(false && "no combinational opcode for this type/arity");
+  return Op::kSource;
+}
+
 ParallelSimulator::ParallelSimulator(const Netlist& nl) : nl_(&nl) {
   assert(nl.finalized());
-  values_.assign(nl.size(), 0);
-  has_value_override_.assign(nl.size(), false);
-  value_override_.assign(nl.size(), 0);
-  eval_type_.assign(nl.size(), GateType::kInput);
-  for (GateId g = 0; g < nl.size(); ++g) eval_type_[g] = nl.type(g);
-  for (GateId g = 0; g < nl.size(); ++g) {
-    if (nl.type(g) == GateType::kConst1) values_[g] = ~0ULL;
+  const std::size_t n = nl.size();
+  values_.assign(n, 0);
+  has_value_override_.assign(n, 0);
+  value_override_.assign(n, 0);
+  on_override_trail_.assign(n, 0);
+  eval_type_.resize(n);
+  instrs_.resize(n);
+  scheduled_.assign(n, 0);
+  level_queue_.resize(nl.depth() + 1);
+  comb_topo_.reserve(nl.num_combinational_gates());
+
+  for (GateId g = 0; g < n; ++g) {
+    eval_type_[g] = nl.type(g);
+    if (nl.is_combinational(g)) {
+      const auto fanins = nl.fanins(g);
+      Instr in;
+      in.op = opcode_for(nl.type(g), fanins.size());
+      if (fanins.size() <= 2) {
+        in.a = fanins[0];
+        if (fanins.size() == 2) in.b = fanins[1];
+      } else {
+        in.a = static_cast<std::uint32_t>(fanin_csr_.size());
+        in.b = static_cast<std::uint32_t>(fanins.size());
+        fanin_csr_.insert(fanin_csr_.end(), fanins.begin(), fanins.end());
+      }
+      instrs_[g] = in;
+    } else if (nl.type(g) == GateType::kConst1) {
+      values_[g] = ~0ULL;
+    }
+  }
+  for (GateId g : nl.topo_order()) {
+    if (nl.is_combinational(g)) comb_topo_.push_back(g);
   }
 }
 
+std::uint64_t ParallelSimulator::exec(GateId g) const {
+  const Instr in = instrs_[g];
+  switch (in.op) {
+    case Op::kSource:
+      return values_[g];
+    case Op::kBuf:
+      return values_[in.a];
+    case Op::kNot:
+      return ~values_[in.a];
+    case Op::kAnd2:
+      return values_[in.a] & values_[in.b];
+    case Op::kNand2:
+      return ~(values_[in.a] & values_[in.b]);
+    case Op::kOr2:
+      return values_[in.a] | values_[in.b];
+    case Op::kNor2:
+      return ~(values_[in.a] | values_[in.b]);
+    case Op::kXor2:
+      return values_[in.a] ^ values_[in.b];
+    case Op::kXnor2:
+      return ~(values_[in.a] ^ values_[in.b]);
+    case Op::kAndK:
+    case Op::kNandK: {
+      std::uint64_t acc = ~0ULL;
+      for (std::uint32_t i = 0; i < in.b; ++i) {
+        acc &= values_[fanin_csr_[in.a + i]];
+      }
+      return in.op == Op::kAndK ? acc : ~acc;
+    }
+    case Op::kOrK:
+    case Op::kNorK: {
+      std::uint64_t acc = 0ULL;
+      for (std::uint32_t i = 0; i < in.b; ++i) {
+        acc |= values_[fanin_csr_[in.a + i]];
+      }
+      return in.op == Op::kOrK ? acc : ~acc;
+    }
+    case Op::kXorK:
+    case Op::kXnorK: {
+      std::uint64_t acc = 0ULL;
+      for (std::uint32_t i = 0; i < in.b; ++i) {
+        acc ^= values_[fanin_csr_[in.a + i]];
+      }
+      return in.op == Op::kXorK ? acc : ~acc;
+    }
+  }
+  return 0ULL;
+}
+
+// ---------------------------------------------------------------------------
+// Dirty-cone bookkeeping
+
+void ParallelSimulator::schedule(GateId g) {
+  if (all_dirty_ || scheduled_[g]) return;
+  scheduled_[g] = 1;
+  level_queue_[nl_->levels()[g]].push_back(g);
+}
+
+void ParallelSimulator::schedule_fanouts(GateId g) {
+  for (GateId out : nl_->fanouts(g)) {
+    // DFFs latch only on step_state(); the frame boundary stops the cone.
+    if (nl_->is_source(out)) continue;
+    schedule(out);
+  }
+}
+
+void ParallelSimulator::mark_override(GateId g) {
+  if (!on_override_trail_[g]) {
+    on_override_trail_[g] = 1;
+    override_trail_.push_back(g);
+  }
+}
+
+void ParallelSimulator::reset_worklist() {
+  for (auto& bucket : level_queue_) {
+    for (GateId g : bucket) scheduled_[g] = 0;
+    bucket.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mutators
+
 void ParallelSimulator::set_source(GateId g, std::uint64_t word) {
   assert(nl_->is_source(g));
-  values_[g] = word;
+  if (all_dirty_) {
+    values_[g] = word;
+    return;
+  }
+  if (has_value_override_[g]) return;  // the override wins until cleared
+  if (values_[g] != word) {
+    values_[g] = word;
+    schedule_fanouts(g);
+  }
 }
 
 void ParallelSimulator::set_input_vector(std::size_t bit,
@@ -28,31 +204,84 @@ void ParallelSimulator::set_input_vector(std::size_t bit,
   const std::uint64_t mask = 1ULL << bit;
   for (std::size_t i = 0; i < bits.size(); ++i) {
     const GateId g = nl_->inputs()[i];
-    if (bits[i]) {
-      values_[g] |= mask;
-    } else {
-      values_[g] &= ~mask;
+    if (!all_dirty_ && has_value_override_[g]) continue;
+    const std::uint64_t next =
+        bits[i] ? (values_[g] | mask) : (values_[g] & ~mask);
+    if (next != values_[g]) {
+      values_[g] = next;
+      if (!all_dirty_) schedule_fanouts(g);
     }
   }
 }
 
 void ParallelSimulator::set_value_override(GateId g, std::uint64_t word) {
-  has_value_override_[g] = true;
+  mark_override(g);
+  has_value_override_[g] = 1;
   value_override_[g] = word;
+  schedule(g);
 }
 
 void ParallelSimulator::set_type_override(GateId g, GateType type) {
   assert(nl_->is_combinational(g));
   assert(arity_ok(type, nl_->fanins(g).size()));
+  if (eval_type_[g] == type) return;
+  mark_override(g);
   eval_type_[g] = type;
+  instrs_[g].op = opcode_for(type, nl_->fanins(g).size());
+  schedule(g);
 }
 
 void ParallelSimulator::clear_overrides() {
-  has_value_override_.assign(nl_->size(), false);
-  for (GateId g = 0; g < nl_->size(); ++g) eval_type_[g] = nl_->type(g);
+  for (GateId g : override_trail_) {
+    on_override_trail_[g] = 0;
+    has_value_override_[g] = 0;
+    if (eval_type_[g] != nl_->type(g)) {
+      eval_type_[g] = nl_->type(g);
+      instrs_[g].op = opcode_for(nl_->type(g), nl_->fanins(g).size());
+    }
+    schedule(g);  // its cone reverts on the next run()
+  }
+  override_trail_.clear();
 }
 
+// ---------------------------------------------------------------------------
+// Evaluation
+
 void ParallelSimulator::run() {
+  if (all_dirty_) {
+    // First evaluation: one pass over the compiled stream in topological
+    // order. Overridden sources are fixed up front; combinational overrides
+    // are applied in-stream.
+    for (GateId g : override_trail_) {
+      if (has_value_override_[g] && nl_->is_source(g)) {
+        values_[g] = value_override_[g];
+      }
+    }
+    for (GateId g : comb_topo_) {
+      std::uint64_t v = exec(g);
+      if (has_value_override_[g]) v = value_override_[g];
+      values_[g] = v;
+    }
+    reset_worklist();
+    all_dirty_ = false;
+    return;
+  }
+  for (auto& bucket : level_queue_) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const GateId g = bucket[i];
+      scheduled_[g] = 0;
+      std::uint64_t v = exec(g);  // Op::kSource returns values_[g]
+      if (has_value_override_[g]) v = value_override_[g];
+      if (v != values_[g]) {
+        values_[g] = v;
+        schedule_fanouts(g);  // appends strictly higher levels only
+      }
+    }
+    bucket.clear();
+  }
+}
+
+void ParallelSimulator::run_full() {
   for (GateId g : nl_->topo_order()) {
     if (nl_->is_combinational(g)) {
       const auto fanins = nl_->fanins(g);
@@ -65,11 +294,21 @@ void ParallelSimulator::run() {
     }
     if (has_value_override_[g]) values_[g] = value_override_[g];
   }
+  // A full sweep satisfies every pending dirty mark.
+  reset_worklist();
+  all_dirty_ = false;
 }
 
 void ParallelSimulator::step_state() {
   for (GateId d : nl_->dffs()) {
-    values_[d] = values_[nl_->fanins(d)[0]];
+    std::uint64_t v = values_[nl_->fanins(d)[0]];
+    if (has_value_override_[d]) v = value_override_[d];
+    if (all_dirty_) {
+      values_[d] = v;  // the pending full sweep reads the latched value
+    } else if (v != values_[d]) {
+      values_[d] = v;
+      schedule_fanouts(d);
+    }
   }
 }
 

@@ -3,6 +3,20 @@
 // Bit i of every 64-bit word is pattern i, so one topological sweep evaluates
 // 64 test vectors — the "efficient parallel simulation techniques with linear
 // runtimes" the paper attributes to simulation-based diagnosis.
+//
+// The evaluation core is a kernel compiled once in the constructor: a
+// flattened opcode stream over the topological order with CSR fan-in
+// indices, specialized no-copy fast paths for 1- and 2-input gates, and
+// dirty-cone incremental resimulation. Sources and overrides changed since
+// the last run() seed a level-ordered worklist; only the affected fanout
+// cone is re-evaluated, and gates whose 64-pattern word comes out unchanged
+// terminate their cone early. A diagnosis loop that flips one override per
+// candidate therefore pays O(|fanout cone|) per run() instead of
+// O(|circuit|).
+//
+// The netlist must not be mutated (substitute_type) after the simulator is
+// constructed: gate functions are compiled into the opcode stream. Use
+// set_type_override for post-construction what-if changes.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +34,10 @@ class ParallelSimulator {
   const Netlist& netlist() const { return *nl_; }
 
   /// Assign the 64-pattern word of a source gate (input or DFF output).
+  /// While a value override is active on `g` the word is ignored and
+  /// dropped — re-assign sources after clear_overrides() if they changed
+  /// while overridden. (No in-tree caller sources an overridden gate; the
+  /// diagnosis loops always clear overrides before setting new inputs.)
   void set_source(GateId g, std::uint64_t word);
 
   /// Assign pattern slot `bit` of every primary input from `bits`
@@ -33,10 +51,19 @@ class ParallelSimulator {
   /// Evaluate gate g with a different function (gate-substitution faults).
   void set_type_override(GateId g, GateType type);
 
+  /// Drop all overrides; O(#overridden gates), and only their cones are
+  /// re-evaluated by the next run().
   void clear_overrides();
 
-  /// Full topological evaluation of the combinational frame.
+  /// Evaluate the combinational frame. Incremental: only the fanout cones of
+  /// sources/overrides changed since the previous run() are recomputed.
   void run();
+
+  /// Reference evaluation path: a full topological resweep through the
+  /// generic per-gate dispatch (the pre-kernel implementation). Kept as the
+  /// semantic anchor for differential tests; equivalent to run() but always
+  /// O(|circuit|).
+  void run_full();
 
   /// Latch DFF data inputs into DFF outputs (one sequential clock edge).
   void step_state();
@@ -48,12 +75,59 @@ class ParallelSimulator {
   std::span<const std::uint64_t> values() const { return values_; }
 
  private:
+  // Compiled gate opcodes. 1- and 2-input gates read their operands straight
+  // from values_ (no fan-in copy); k-ary gates loop over a CSR slice.
+  enum class Op : std::uint8_t {
+    kSource,  // PI / DFF output / constant: never evaluated
+    kBuf,
+    kNot,
+    kAnd2,
+    kNand2,
+    kOr2,
+    kNor2,
+    kXor2,
+    kXnor2,
+    kAndK,
+    kNandK,
+    kOrK,
+    kNorK,
+    kXorK,
+    kXnorK,
+  };
+
+  struct Instr {
+    std::uint32_t a = 0;  // fanin id (1/2-input) or CSR offset (k-ary)
+    std::uint32_t b = 0;  // second fanin id (2-input) or fanin count (k-ary)
+    Op op = Op::kSource;
+  };
+
+  static Op opcode_for(GateType type, std::size_t arity);
+  std::uint64_t exec(GateId g) const;
+  void schedule(GateId g);
+  void schedule_fanouts(GateId g);
+  void mark_override(GateId g);
+  void reset_worklist();
+
   const Netlist* nl_;
   std::vector<std::uint64_t> values_;
-  std::vector<bool> has_value_override_;
+  std::vector<std::uint8_t> has_value_override_;
   std::vector<std::uint64_t> value_override_;
   std::vector<GateType> eval_type_;  // per-gate effective type
-  std::vector<std::uint64_t> fanin_buf_;
+  std::vector<std::uint8_t> on_override_trail_;
+  std::vector<GateId> override_trail_;  // gates with any override set
+
+  // Compiled kernel: per-gate instruction, flattened k-ary fanins, and the
+  // combinational gates of the topological order (the full-sweep stream).
+  std::vector<Instr> instrs_;
+  std::vector<GateId> fanin_csr_;
+  std::vector<GateId> comb_topo_;
+
+  // Dirty-cone worklist: level-bucketed queue of gates to re-evaluate.
+  std::vector<std::vector<GateId>> level_queue_;
+  std::vector<std::uint8_t> scheduled_;
+  bool all_dirty_ = true;  // first run() is a full stream sweep
+
+  mutable std::vector<std::uint64_t> fanin_buf_;  // run_full() scratch
 };
 
 }  // namespace satdiag

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# End-to-end CLI check: `diagnose --stats` must print the solver counters
+# (including the binary-BCP layer's binary_propagations) for SAT-backed
+# approaches and reject non-SAT approaches.
+set -euo pipefail
+
+CLI="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$CLI" gen --profile s298_like --seed 7 --out "$TMP/c.bench" > /dev/null
+"$CLI" inject "$TMP/c.bench" --errors 1 --seed 3 \
+    --out "$TMP/faulty.bench" --tests-out "$TMP/tests.txt" > /dev/null
+
+out="$("$CLI" diagnose "$TMP/faulty.bench" --tests "$TMP/tests.txt" \
+    --approach bsat --stats)"
+for counter in conflicts decisions propagations binary_propagations restarts; do
+  if ! grep -q "${counter}:" <<< "$out"; then
+    echo "missing solver counter '${counter}' in --stats output:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+done
+
+hybrid_out="$("$CLI" diagnose "$TMP/faulty.bench" --tests "$TMP/tests.txt" \
+    --approach hybrid --stats)"
+grep -q "binary_propagations:" <<< "$hybrid_out"
+
+# Simulation-only approaches have no solver stats to print.
+if "$CLI" diagnose "$TMP/faulty.bench" --tests "$TMP/tests.txt" \
+    --approach bsim --stats > /dev/null 2>&1; then
+  echo "expected 'diagnose --approach bsim --stats' to fail" >&2
+  exit 1
+fi
+
+echo PASS

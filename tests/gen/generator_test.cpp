@@ -91,7 +91,6 @@ class ProfileTest : public ::testing::TestWithParam<CircuitProfile> {};
 
 TEST_P(ProfileTest, QuarterScaleInstantiation) {
   const CircuitProfile& profile = GetParam();
-  if (profile.gates > 6000) GTEST_SKIP() << "large profile, covered by bench";
   const Netlist nl = make_profile_circuit(profile, 0.25, 1);
   EXPECT_EQ(nl.inputs().size(), profile.inputs);
   EXPECT_GE(nl.outputs().size(), profile.outputs);

@@ -1,0 +1,220 @@
+// Differential coverage for the dedicated binary-clause BCP layer: verdicts
+// on random binary-heavy CNFs (where every solver code path runs through
+// BinWatcher lists and literal-tagged reasons) must match brute force, with
+// models checked against the original clauses, both standalone and under
+// assumptions. A DIMACS round trip keeps the corpus format honest.
+#include "sat/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "sat/dimacs.hpp"
+#include "util/rng.hpp"
+
+namespace satdiag::sat {
+namespace {
+
+std::vector<Clause> random_cnf(Rng& rng, int num_vars, std::size_t num_clauses,
+                               double binary_fraction) {
+  std::vector<Clause> clauses;
+  for (std::size_t c = 0; c < num_clauses; ++c) {
+    const std::size_t len =
+        rng.next_bool(binary_fraction) ? 2 : 1 + rng.next_below(3);
+    Clause clause;
+    for (std::size_t i = 0; i < len; ++i) {
+      const Var v = static_cast<Var>(rng.next_below(
+          static_cast<std::uint64_t>(num_vars)));
+      clause.push_back(Lit(v, rng.next_bool()));
+    }
+    clauses.push_back(std::move(clause));
+  }
+  return clauses;
+}
+
+bool clause_satisfied(const Clause& clause, std::uint32_t assignment) {
+  for (Lit l : clause) {
+    const bool value = (assignment >> l.var()) & 1u;
+    if (value != l.sign()) return true;
+  }
+  return false;
+}
+
+/// Exhaustive SAT check; optionally restricted to assignments consistent
+/// with `assumptions`.
+bool brute_force_sat(int num_vars, const std::vector<Clause>& clauses,
+                     const std::vector<Lit>& assumptions = {}) {
+  for (std::uint32_t a = 0; a < (1u << num_vars); ++a) {
+    bool ok = true;
+    for (Lit l : assumptions) {
+      if ((((a >> l.var()) & 1u) != 0) == l.sign()) {
+        ok = false;
+        break;
+      }
+    }
+    for (std::size_t c = 0; ok && c < clauses.size(); ++c) {
+      ok = clause_satisfied(clauses[c], a);
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+void check_model(const Solver& s, const std::vector<Clause>& clauses) {
+  for (const Clause& clause : clauses) {
+    bool satisfied = false;
+    for (Lit l : clause) satisfied |= s.model_value(l) == LBool::kTrue;
+    EXPECT_TRUE(satisfied);
+  }
+}
+
+TEST(SolverDiffTest, BinaryHeavyRandomCnfMatchesBruteForce) {
+  Rng rng(0xb1);
+  for (int iter = 0; iter < 400; ++iter) {
+    const int num_vars = 3 + static_cast<int>(rng.next_below(10));
+    const std::size_t num_clauses = 1 + rng.next_below(50);
+    const auto clauses = random_cnf(rng, num_vars, num_clauses, 0.8);
+    Solver s;
+    for (int v = 0; v < num_vars; ++v) s.new_var();
+    bool loaded = true;
+    for (const Clause& c : clauses) loaded = s.add_clause(c) && loaded;
+    const bool expected = brute_force_sat(num_vars, clauses);
+    const LBool verdict = s.solve();
+    ASSERT_EQ(verdict == LBool::kTrue, expected) << "iter " << iter;
+    if (verdict == LBool::kTrue) check_model(s, clauses);
+  }
+}
+
+TEST(SolverDiffTest, BinaryHeavyCnfUnderAssumptionsMatchesBruteForce) {
+  Rng rng(0xb2);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int num_vars = 4 + static_cast<int>(rng.next_below(8));
+    const std::size_t num_clauses = 1 + rng.next_below(40);
+    const auto clauses = random_cnf(rng, num_vars, num_clauses, 0.8);
+    Solver s;
+    for (int v = 0; v < num_vars; ++v) s.new_var();
+    for (const Clause& c : clauses) s.add_clause(c);
+    // Distinct assumption variables, random polarity.
+    std::vector<Lit> assumptions;
+    for (Var v = 0; v < num_vars; ++v) {
+      if (rng.next_bool(0.25)) assumptions.push_back(Lit(v, rng.next_bool()));
+    }
+    const bool expected = brute_force_sat(num_vars, clauses, assumptions);
+    const LBool verdict = s.solve(assumptions);
+    ASSERT_EQ(verdict == LBool::kTrue, expected) << "iter " << iter;
+    if (verdict == LBool::kTrue) {
+      check_model(s, clauses);
+      for (Lit a : assumptions) EXPECT_EQ(s.model_value(a), LBool::kTrue);
+    }
+  }
+}
+
+TEST(SolverDiffTest, ImplicationChainCountsBinaryPropagations) {
+  // x0 -> x1 -> ... -> x19, then assume x0: the whole chain must come from
+  // the binary layer.
+  Solver s;
+  const int n = 20;
+  for (int i = 0; i < n; ++i) s.new_var();
+  for (int i = 0; i + 1 < n; ++i) {
+    ASSERT_TRUE(s.add_clause(neg(i), pos(i + 1)));
+  }
+  const std::vector<Lit> assumptions{pos(0)};
+  ASSERT_EQ(s.solve(assumptions), LBool::kTrue);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(s.model_value(i), LBool::kTrue) << i;
+  }
+  EXPECT_GE(s.stats().binary_propagations, static_cast<std::uint64_t>(n - 1));
+}
+
+TEST(SolverDiffTest, BinaryConflictAnalysisLearnsAcrossRestarts) {
+  // 2-SAT contradiction reachable only through binary reasons:
+  // x0 -> x1, x1 -> x2, x0 -> x3, (x2 & x3 -> false) as (~x2 | ~x3).
+  Solver s;
+  for (int i = 0; i < 4; ++i) s.new_var();
+  ASSERT_TRUE(s.add_clause(neg(0), pos(1)));
+  ASSERT_TRUE(s.add_clause(neg(1), pos(2)));
+  ASSERT_TRUE(s.add_clause(neg(0), pos(3)));
+  ASSERT_TRUE(s.add_clause(neg(2), neg(3)));
+  EXPECT_EQ(s.solve(std::vector<Lit>{pos(0)}), LBool::kFalse);
+  // The conflict must implicate the single assumption.
+  ASSERT_EQ(s.conflict().size(), 1u);
+  EXPECT_EQ(s.conflict()[0], neg(0));
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_EQ(s.model_value(0), LBool::kFalse);
+}
+
+std::uint32_t count_models_brute_force(int num_vars,
+                                       const std::vector<Clause>& clauses) {
+  std::uint32_t count = 0;
+  for (std::uint32_t a = 0; a < (1u << num_vars); ++a) {
+    bool ok = true;
+    for (std::size_t c = 0; ok && c < clauses.size(); ++c) {
+      ok = clause_satisfied(clauses[c], a);
+    }
+    count += ok ? 1 : 0;
+  }
+  return count;
+}
+
+TEST(SolverDiffTest, InSearchBlockingEnumeratesExactlyAllModels) {
+  // block_model (in-search continuation) must visit exactly the same model
+  // set as restart-based add_clause blocking — checked against brute force.
+  Rng rng(0xb4);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int num_vars = 3 + static_cast<int>(rng.next_below(7));
+    const auto clauses = random_cnf(rng, num_vars, 2 + rng.next_below(16), 0.6);
+    const std::uint32_t expected = count_models_brute_force(num_vars, clauses);
+
+    for (const bool in_search : {false, true}) {
+      Solver s;
+      for (int v = 0; v < num_vars; ++v) s.new_var();
+      bool loaded = true;
+      for (const Clause& c : clauses) loaded = s.add_clause(c) && loaded;
+      std::set<std::uint32_t> models;
+      while (loaded && s.solve() == LBool::kTrue) {
+        std::uint32_t model = 0;
+        Clause blocking;
+        for (Var v = 0; v < num_vars; ++v) {
+          const bool val = s.model_value(v) == LBool::kTrue;
+          model |= static_cast<std::uint32_t>(val) << v;
+          blocking.push_back(Lit(v, val));
+        }
+        ASSERT_TRUE(models.insert(model).second)
+            << "model revisited (iter " << iter << ")";
+        const bool more = in_search ? s.block_model(std::move(blocking))
+                                    : s.add_clause(std::move(blocking));
+        if (!more) break;
+      }
+      EXPECT_EQ(models.size(), expected)
+          << "iter " << iter << " in_search=" << in_search;
+    }
+  }
+}
+
+TEST(SolverDiffTest, DimacsRoundTripPreservesVerdicts) {
+  Rng rng(0xb3);
+  for (int iter = 0; iter < 50; ++iter) {
+    const int num_vars = 3 + static_cast<int>(rng.next_below(8));
+    CnfFormula cnf;
+    cnf.num_vars = num_vars;
+    cnf.clauses = random_cnf(rng, num_vars, 5 + rng.next_below(30), 0.7);
+
+    std::ostringstream out;
+    write_dimacs(out, cnf);
+    const CnfFormula parsed = parse_dimacs_string(out.str());
+
+    Solver direct;
+    for (int v = 0; v < num_vars; ++v) direct.new_var();
+    for (const Clause& c : cnf.clauses) direct.add_clause(c);
+    Solver reparsed;
+    load_into_solver(parsed, reparsed);
+
+    const bool expected = brute_force_sat(num_vars, cnf.clauses);
+    EXPECT_EQ(direct.solve() == LBool::kTrue, expected) << "iter " << iter;
+    EXPECT_EQ(reparsed.solve() == LBool::kTrue, expected) << "iter " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace satdiag::sat

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Run the bench/ drivers with pinned arguments and record wall-clock JSON.
+
+This is how the BENCH_*.json perf trajectory at the repo root is produced:
+
+    # before an engine change (building the pre-change tree):
+    tools/bench_runner.py --build-dir build --out BENCH_baseline.json
+    # after the change (same machine, same arguments):
+    tools/bench_runner.py --build-dir build --out BENCH_pr2.json
+    tools/bench_runner.py --compare BENCH_baseline.json BENCH_pr2.json
+
+Every benchmark is a full driver invocation with fixed seeds, so numbers are
+comparable as long as the two runs happen on the same machine. Drivers are
+run sequentially (the container is single-core anyway); each entry records
+the command line so a cell can be reproduced by hand.
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+# name -> (driver binary, argv). Seeds/scales are pinned: the workload must
+# be identical across runs for the wall-clock comparison to mean anything.
+BENCHES = {
+    # Solver-bound: BSAT/COV/BSIM across the Table 2 grid at reduced scale.
+    "table2_runtime": (
+        "bench_table2_runtime",
+        ["--scale", "0.1", "--limit", "60", "--max-solutions", "2000",
+         "--seed", "1"],
+    ),
+    # Solver-bound: the advanced-SAT ablation (four BSAT variants).
+    "ablation_advanced_sat": (
+        "bench_ablation_advanced_sat",
+        ["--circuit", "s1423_like", "--scale", "1.0", "--tests", "16",
+         "--errors", "3", "--seed", "3", "--limit", "300"],
+    ),
+    # Simulation-bound: exhaustive stuck-at fault simulation.
+    "fault_sim": (
+        "bench_fault_sim",
+        ["--profile", "s38417_like", "--scale", "1.0", "--seed", "1",
+         "--rounds", "1", "--json"],
+    ),
+}
+
+
+def run_bench(build_dir, name, spec):
+    binary = os.path.join(build_dir, "bench", spec[0])
+    cmd = [binary] + spec[1]
+    print(f"[bench_runner] {name}: {' '.join(cmd)}", file=sys.stderr)
+    start = time.monotonic()
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    seconds = time.monotonic() - start
+    entry = {
+        "driver": spec[0],
+        "args": spec[1],
+        "seconds": round(seconds, 3),
+        "exit_code": proc.returncode,
+    }
+    # Drivers that emit a JSON line report their own inner timing too.
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if line.startswith("{") and line.endswith("}"):
+            try:
+                entry["self_reported"] = json.loads(line)
+            except json.JSONDecodeError:
+                pass
+    if proc.returncode != 0:
+        entry["stderr_tail"] = proc.stderr[-2000:]
+    print(f"[bench_runner] {name}: {seconds:.1f}s "
+          f"(exit {proc.returncode})", file=sys.stderr)
+    return entry
+
+
+def compare(baseline_path, after_path):
+    with open(baseline_path) as f:
+        base = json.load(f)
+    with open(after_path) as f:
+        after = json.load(f)
+    print(f"{'bench':<24} {'baseline s':>10} {'after s':>10} {'speedup':>8}")
+    for name, b in base["benches"].items():
+        a = after["benches"].get(name)
+        if not a:
+            continue
+        speedup = b["seconds"] / a["seconds"] if a["seconds"] > 0 else 0.0
+        print(f"{name:<24} {b['seconds']:>10.2f} {a['seconds']:>10.2f} "
+              f"{speedup:>7.2f}x")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (e.g. BENCH_baseline.json)")
+    parser.add_argument("--only", action="append", default=None,
+                        help="run only the named bench (repeatable)")
+    parser.add_argument("--compare", nargs=2, metavar=("BASELINE", "AFTER"),
+                        help="print a speedup table for two recorded files")
+    args = parser.parse_args()
+
+    if args.compare:
+        compare(*args.compare)
+        return 0
+
+    selected = {k: v for k, v in BENCHES.items()
+                if args.only is None or k in args.only}
+    result = {
+        "machine": {
+            "platform": platform.platform(),
+            "processor": platform.processor() or platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "benches": {},
+    }
+    for name, spec in selected.items():
+        result["benches"][name] = run_bench(args.build_dir, name, spec)
+
+    text = json.dumps(result, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"[bench_runner] wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

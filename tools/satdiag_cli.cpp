@@ -7,7 +7,8 @@
 //             --tests-out tests.txt [--num-tests M]
 //             (circuits with DFFs are converted to the full-scan view first)
 //   diagnose  faulty.bench --tests tests.txt --approach bsim|cov|bsat|hybrid
-//             [--k K] [--limit SECONDS] [--max-solutions N]
+//             [--k K] [--limit SECONDS] [--max-solutions N] [--stats]
+//             (--stats prints the SAT solver counters; bsat/hybrid only)
 //   repair    faulty.bench --tests tests.txt --gates g1,g2,...
 //
 // The bench format is ISCAS89 .bench; the test format is documented in
@@ -17,6 +18,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "bench/bench_parser.hpp"
@@ -54,6 +56,26 @@ int usage() {
 }
 
 Netlist load_bench(const std::string& path) { return parse_bench_file(path); }
+
+void print_solver_stats(const sat::Solver::Stats& st) {
+  std::printf("solver stats:\n");
+  std::printf("  conflicts:           %llu\n",
+              static_cast<unsigned long long>(st.conflicts));
+  std::printf("  decisions:           %llu\n",
+              static_cast<unsigned long long>(st.decisions));
+  std::printf("  propagations:        %llu\n",
+              static_cast<unsigned long long>(st.propagations));
+  std::printf("  binary_propagations: %llu\n",
+              static_cast<unsigned long long>(st.binary_propagations));
+  std::printf("  restarts:            %llu\n",
+              static_cast<unsigned long long>(st.restarts));
+  std::printf("  learned:             %llu\n",
+              static_cast<unsigned long long>(st.learned));
+  std::printf("  removed:             %llu\n",
+              static_cast<unsigned long long>(st.removed));
+  std::printf("  gc_runs:             %llu\n",
+              static_cast<unsigned long long>(st.gc_runs));
+}
 
 void print_solutions(const Netlist& nl,
                      const std::vector<std::vector<GateId>>& solutions) {
@@ -163,6 +185,10 @@ int cmd_diagnose(const CliArgs& args) {
   const double limit = args.get_double("limit", 300.0);
   const std::int64_t cap = args.get_int("max-solutions", -1);
   const std::string approach = args.get_string("approach", "bsat");
+  const bool want_stats = args.get_bool("stats", false);
+  if (want_stats && approach != "bsat" && approach != "hybrid") {
+    return fail("--stats requires a SAT-backed approach (bsat or hybrid)");
+  }
 
   if (approach == "bsim") {
     const BsimResult result = basic_sim_diagnose(nl, tests);
@@ -195,6 +221,7 @@ int cmd_diagnose(const CliArgs& args) {
                 result.solutions.size(), result.complete ? "" : " (truncated)",
                 result.build_seconds, result.all_seconds);
     print_solutions(nl, result.solutions);
+    if (want_stats) print_solver_stats(result.solver_stats);
     return 0;
   }
   if (approach == "hybrid") {
@@ -208,6 +235,7 @@ int cmd_diagnose(const CliArgs& args) {
                 result.solutions.size(), result.sim_seconds,
                 result.sat_seconds);
     print_solutions(nl, result.solutions);
+    if (want_stats) print_solver_stats(result.solver_stats);
     return 0;
   }
   return fail("unknown approach '" + approach + "'");
@@ -259,7 +287,7 @@ const std::map<std::string, std::vector<std::string>> kKnownFlags = {
     {"gen", {"profile", "scale", "seed", "out"}},
     {"stats", {}},
     {"inject", {"seed", "errors", "out", "tests-out", "num-tests"}},
-    {"diagnose", {"tests", "approach", "k", "limit", "max-solutions"}},
+    {"diagnose", {"tests", "approach", "k", "limit", "max-solutions", "stats"}},
     {"repair", {"tests", "gates"}},
 };
 
@@ -290,9 +318,23 @@ int main(int argc, char** argv) {
       return 0;
     }
   }
+  // CliArgs treats "--flag token" as a valued flag, so a bare boolean like
+  // "--stats faulty.bench" would swallow the positional. Normalize known
+  // value-less flags to "--flag=true" before parsing.
+  std::vector<std::string> tokens(argv, argv + argc);
+  for (std::string& token : tokens) {
+    if (token == "--stats") token = "--stats=true";
+  }
+  std::vector<const char*> token_ptrs;
+  token_ptrs.reserve(tokens.size());
+  for (const std::string& token : tokens) token_ptrs.push_back(token.c_str());
+
   CliArgs args;
   std::string error;
-  if (!args.parse(argc, argv, error)) return fail(error);
+  if (!args.parse(static_cast<int>(token_ptrs.size()), token_ptrs.data(),
+                  error)) {
+    return fail(error);
+  }
   const std::string command = argv[1];
   if (const int rc = check_flags(command, args)) return rc;
   try {
