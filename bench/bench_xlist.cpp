@@ -1,0 +1,95 @@
+// Simulation-bound X-list diagnosis benchmark.
+//
+// xlist_single_candidates injects X at every candidate gate and forward-
+// propagates a 3-valued simulation to the erroneous outputs — the
+// ThreeValuedSimulator inner loop shape (one injection site per sweep, all
+// tests in parallel pattern slots). A full-resweep 3-valued engine pays
+// O(|circuit|) per candidate, a dirty-cone incremental one O(|fanout cone|),
+// so this workload measures exactly what the unified compiled kernel
+// accelerates on the X-list / effect-analysis side.
+//
+// Uses only the public xlist API so the same driver binary is meaningful
+// before and after engine changes (see tools/bench_runner.py).
+//
+// Run:  ./bench_xlist [--circuit s38417_like] [--scale 1.0] [--errors 2]
+//       [--tests 16] [--seed 1] [--rounds 1] [--restrict false] [--json]
+#include <cstdio>
+
+#include "diag/xlist.hpp"
+#include "report/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+using namespace satdiag;
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  std::string error;
+  if (!args.parse(argc, argv, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  ExperimentConfig config;
+  config.circuit = args.get_string("circuit", "s38417_like");
+  config.scale = args.get_double("scale", 1.0);
+  config.num_errors = static_cast<std::size_t>(args.get_int("errors", 2));
+  config.num_tests = static_cast<std::size_t>(args.get_int("tests", 16));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::size_t rounds =
+      static_cast<std::size_t>(args.get_int("rounds", 1));
+  // Unrestricted pool by default: every combinational gate is a candidate,
+  // which is the simulation-bound worst case the engine must sustain.
+  const bool restrict_cones = args.get_bool("restrict", false);
+  const bool json = args.get_bool("json", false);
+  // A typo'd flag must not silently fall back to a default workload: the
+  // recorded BENCH_*.json timings would compare different work.
+  for (const std::string& flag : args.unused()) {
+    std::fprintf(stderr, "unknown flag --%s\n", flag.c_str());
+    return 2;
+  }
+
+  const auto prepared = prepare_experiment(config);
+  if (!prepared) {
+    std::fprintf(stderr, "no detectable experiment for %s\n",
+                 config.circuit.c_str());
+    return 1;
+  }
+
+  XListOptions options;
+  options.restrict_to_fanin_cones = restrict_cones;
+  std::size_t candidates = 0;
+  std::size_t pool = 0;
+  for (GateId g = 0; g < prepared->faulty.size(); ++g) {
+    if (prepared->faulty.is_combinational(g)) ++pool;
+  }
+  Timer timer;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    candidates =
+        xlist_single_candidates(prepared->faulty, prepared->tests, options)
+            .size();
+  }
+  const double seconds = timer.seconds();
+  const double sweeps =
+      static_cast<double>(restrict_cones ? candidates : pool) *
+      static_cast<double>(rounds);
+
+  if (json) {
+    std::printf(
+        "{\"bench\":\"xlist_sim3\",\"circuit\":\"%s\",\"scale\":%.3f,"
+        "\"gates\":%zu,\"tests\":%zu,\"errors\":%zu,\"rounds\":%zu,"
+        "\"candidates\":%zu,\"seconds\":%.6f,"
+        "\"injection_sweeps_per_second\":%.0f}\n",
+        config.circuit.c_str(), config.scale, prepared->faulty.size(),
+        prepared->tests.size(), config.num_errors, rounds, candidates,
+        seconds, sweeps / seconds);
+  } else {
+    std::printf("# X-list single-location diagnosis on %s (%zu gates)\n",
+                config.circuit.c_str(), prepared->faulty.size());
+    std::printf("tests:              %zu\n", prepared->tests.size());
+    std::printf("candidate pool:     %zu\n", pool);
+    std::printf("candidates kept:    %zu\n", candidates);
+    std::printf("elapsed:            %.3f s\n", seconds);
+    std::printf("injection sweeps/s: %.0f\n", sweeps / seconds);
+  }
+  return 0;
+}

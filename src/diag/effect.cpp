@@ -19,7 +19,8 @@ DiagnosisInstanceOptions effect_instance_options() {
 EffectAnalyzer::EffectAnalyzer(const Netlist& nl, const TestSet& tests)
     : nl_(&nl),
       tests_(&tests),
-      inst_(build_diagnosis_instance(nl, tests, effect_instance_options())) {}
+      inst_(build_diagnosis_instance(nl, tests, effect_instance_options())),
+      sim3_(nl) {}
 
 bool EffectAnalyzer::is_valid_correction(const std::vector<GateId>& candidate,
                                          Deadline deadline) {
@@ -40,7 +41,11 @@ bool EffectAnalyzer::is_valid_correction(const std::vector<GateId>& candidate,
 }
 
 bool EffectAnalyzer::x_check(const std::vector<GateId>& candidate) const {
-  ThreeValuedSimulator sim(*nl_);
+  // Reuses the member simulator: re-assigning identical input words is a
+  // no-op for the dirty-cone engine, so with one pattern batch (≤ 64 tests)
+  // only the candidate's injection cones — and the previous call's revert
+  // cones — are re-evaluated.
+  ThreeValuedSimulator& sim = sim3_;
   const TestSet& tests = *tests_;
   for (std::size_t base = 0; base < tests.size(); base += 64) {
     const std::size_t batch = std::min<std::size_t>(64, tests.size() - base);

@@ -13,6 +13,7 @@
 
 #include "cnf/mux_instrument.hpp"
 #include "netlist/testset.hpp"
+#include "sim/sim3.hpp"
 #include "util/timer.hpp"
 
 namespace satdiag {
@@ -29,7 +30,9 @@ class EffectAnalyzer {
 
   /// Necessary condition via 01X simulation: X injected at the candidate
   /// gates reaches the erroneous output of every test. Linear time; never
-  /// returns false for a valid correction.
+  /// returns false for a valid correction. Const but not thread-safe: it
+  /// resimulates through a mutable member simulator (one analyzer per
+  /// thread for candidate-parallel work).
   bool x_check(const std::vector<GateId>& candidate) const;
 
   const Netlist& netlist() const { return *nl_; }
@@ -39,6 +42,10 @@ class EffectAnalyzer {
   const Netlist* nl_;
   const TestSet* tests_;
   DiagnosisInstance inst_;
+  // One long-lived 3-valued simulator across x_check calls: with at most 64
+  // tests the input words survive between calls, so each check pays only the
+  // injection cones of its candidate (dirty-cone resim), not a full sweep.
+  mutable ThreeValuedSimulator sim3_;
   std::size_t checks_ = 0;
 };
 

@@ -21,6 +21,9 @@ std::vector<std::uint64_t> reach_masks(const Netlist& nl, const TestSet& tests,
   for (std::size_t b = 0; b < tests.size(); ++b) {
     sim.set_input_vector(b, tests[b].input_values);
   }
+  // Prime the X-free evaluation once; each candidate then pays only for the
+  // cones of its own injection and the previous candidate's revert.
+  sim.run();
   for (GateId g : candidates) {
     if (deadline.expired()) break;
     sim.clear_overrides();
@@ -55,16 +58,26 @@ std::vector<GateId> candidate_pool(const Netlist& nl, const TestSet& tests,
   return pool;
 }
 
-bool joint_x_covers_all(const Netlist& nl, const TestSet& tests,
+/// Joint X injection of `tuple` floods every test's erroneous output.
+/// The caller passes one long-lived simulator across tuples: inputs stay in
+/// place, so each verification costs only the tuple's injection cones.
+/// Tests beyond the first 64 run in additional pattern batches.
+bool joint_x_covers_all(ThreeValuedSimulator& sim, const TestSet& tests,
                         const std::vector<GateId>& tuple) {
-  ThreeValuedSimulator sim(nl);
-  for (std::size_t b = 0; b < tests.size(); ++b) {
-    sim.set_input_vector(b, tests[b].input_values);
-  }
-  for (GateId g : tuple) sim.inject_x(g);
-  sim.run();
-  for (std::size_t b = 0; b < tests.size(); ++b) {
-    if (!sim.value(test_output_gate(nl, tests[b])).is_x(b)) return false;
+  const Netlist& nl = sim.netlist();
+  for (std::size_t base = 0; base < tests.size(); base += 64) {
+    const std::size_t batch = std::min<std::size_t>(64, tests.size() - base);
+    for (std::size_t b = 0; b < batch; ++b) {
+      sim.set_input_vector(b, tests[base + b].input_values);
+    }
+    sim.clear_overrides();
+    for (GateId g : tuple) sim.inject_x(g);
+    sim.run();
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (!sim.value(test_output_gate(nl, tests[base + b])).is_x(b)) {
+        return false;
+      }
+    }
   }
   return true;
 }
@@ -137,9 +150,10 @@ std::vector<std::vector<GateId>> xlist_tuple_candidates(
   cov.deadline = options.deadline;
   cov.max_solutions = static_cast<std::int64_t>(max_tuples) * 4;
   const CovResult covers = solve_covering_sat(per_test, cov);
+  ThreeValuedSimulator sim(nl);
   for (const auto& tuple : covers.solutions) {
     if (result.size() >= max_tuples || options.deadline.expired()) break;
-    if (joint_x_covers_all(nl, tests, tuple)) result.push_back(tuple);
+    if (joint_x_covers_all(sim, tests, tuple)) result.push_back(tuple);
   }
   return result;
 }

@@ -86,10 +86,21 @@ std::vector<bool> golden_output_values(const Netlist& nl,
 
 std::vector<std::vector<bool>> golden_outputs_for_tests(const Netlist& nl,
                                                         const TestSet& tests) {
-  std::vector<std::vector<bool>> rows;
-  rows.reserve(tests.size());
-  for (const Test& t : tests) {
-    rows.push_back(golden_output_values(nl, t.input_values));
+  // 64 tests per sweep: test base+b rides pattern lane b, so one simulator
+  // evaluation serves a whole batch instead of one full sweep per test.
+  std::vector<std::vector<bool>> rows(tests.size());
+  ParallelSimulator sim(nl);
+  for (std::size_t base = 0; base < tests.size(); base += 64) {
+    const std::size_t batch = std::min<std::size_t>(64, tests.size() - base);
+    for (std::size_t b = 0; b < batch; ++b) {
+      sim.set_input_vector(b, tests[base + b].input_values);
+    }
+    sim.run();
+    for (std::size_t b = 0; b < batch; ++b) {
+      std::vector<bool>& row = rows[base + b];
+      row.reserve(nl.outputs().size());
+      for (GateId o : nl.outputs()) row.push_back(sim.value_bit(o, b));
+    }
   }
   return rows;
 }

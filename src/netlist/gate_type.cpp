@@ -49,22 +49,6 @@ std::optional<GateType> gate_type_from_name(std::string_view name) {
   return std::nullopt;
 }
 
-bool is_source_type(GateType type) {
-  switch (type) {
-    case GateType::kInput:
-    case GateType::kDff:
-    case GateType::kConst0:
-    case GateType::kConst1:
-      return true;
-    default:
-      return false;
-  }
-}
-
-bool is_combinational_type(GateType type) {
-  return !is_source_type(type);
-}
-
 std::optional<bool> controlling_value(GateType type) {
   switch (type) {
     case GateType::kAnd:

@@ -36,10 +36,23 @@ std::string_view gate_type_name(GateType type);
 std::optional<GateType> gate_type_from_name(std::string_view name);
 
 /// True for gates whose value is not computed from fanins (PI, DFF, consts).
-bool is_source_type(GateType type);
+/// Inline: the dirty-cone schedulers test this per visited fanout.
+constexpr bool is_source_type(GateType type) {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kDff:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return true;
+    default:
+      return false;
+  }
+}
 
 /// True for AND/NAND/OR/NOR/XOR/XNOR/BUF/NOT.
-bool is_combinational_type(GateType type);
+constexpr bool is_combinational_type(GateType type) {
+  return !is_source_type(type);
+}
 
 /// Controlling input value (0 for AND/NAND, 1 for OR/NOR), or nullopt for
 /// types without one (XOR/XNOR/BUF/NOT). Per footnote 1 in the paper.

@@ -101,12 +101,6 @@ GateId Netlist::find(std::string_view name) const {
   return it == by_name_.end() ? kNoGate : it->second;
 }
 
-std::span<const GateId> Netlist::fanouts(GateId g) const {
-  const std::uint32_t begin = fanout_offset_[g];
-  const std::uint32_t end = fanout_offset_[g + 1];
-  return {fanout_data_.data() + begin, fanout_data_.data() + end};
-}
-
 void Netlist::finalize() {
   if (finalized_) return;
   for (GateId d : dffs_) {

@@ -80,7 +80,11 @@ class Netlist {
   /// Levelization: sources at level 0, gate level = 1 + max(fanin levels).
   const std::vector<std::uint32_t>& levels() const { return levels_; }
   std::uint32_t depth() const { return depth_; }
-  std::span<const GateId> fanouts(GateId g) const;
+  /// Inline: the dirty-cone schedulers walk fanouts per changed gate.
+  std::span<const GateId> fanouts(GateId g) const {
+    return {fanout_data_.data() + fanout_offset_[g],
+            fanout_data_.data() + fanout_offset_[g + 1]};
+  }
 
   /// Deep copy (cheap enough at ISCAS89 scale; used for golden/faulty pairs).
   Netlist clone() const { return *this; }

@@ -49,6 +49,7 @@ Var Solver::new_var(bool decidable, bool default_phase) {
   heap_pos_.push_back(-1);
   seen_.push_back(false);
   model_.push_back(LBool::kUndef);
+  lbd_stamp_.push_back(0);  // decision levels are bounded by #vars
   watches_.emplace_back();
   watches_.emplace_back();
   bin_watches_.emplace_back();
@@ -513,12 +514,12 @@ void Solver::analyze(CRef conflict, Clause& out_learnt, int& out_btlevel,
 
   // Literal-block distance (used only as a statistic here).
   out_lbd = 0;
-  lbd_seen_.clear();
+  ++lbd_epoch_;
   for (Lit l : out_learnt) {
-    const int lev = vardata_[static_cast<std::size_t>(l.var())].level;
-    if (std::find(lbd_seen_.begin(), lbd_seen_.end(), lev) ==
-        lbd_seen_.end()) {
-      lbd_seen_.push_back(lev);
+    const auto lev = static_cast<std::size_t>(
+        vardata_[static_cast<std::size_t>(l.var())].level);
+    if (lbd_stamp_[lev] != lbd_epoch_) {
+      lbd_stamp_[lev] = lbd_epoch_;
       ++out_lbd;
     }
   }

@@ -239,7 +239,12 @@ class Solver {
   std::vector<Lit> analyze_stack_;
   std::vector<Lit> analyze_clear_;
   std::vector<Var> redundant_clear_;
-  std::vector<int> lbd_seen_;
+  // LBD stamp array: lbd_stamp_[level] == lbd_epoch_ marks a decision level
+  // already counted for the current learnt clause — O(1) per literal instead
+  // of a linear scan over the levels seen so far. Seeded with the level-0
+  // slot; new_var appends one slot, covering levels 0..num_vars.
+  std::vector<std::uint64_t> lbd_stamp_{0};
+  std::uint64_t lbd_epoch_ = 0;
 
   double max_learnts_ = 0;
   std::int64_t conflict_budget_ = -1;

@@ -1,0 +1,132 @@
+// Shared compiled-netlist core for every simulation backend.
+//
+// The constructor flattens a finalized netlist into an opcode stream over
+// the topological order: specialized no-copy opcodes for 1- and 2-input
+// gates, CSR fan-in slices for k-ary gates, and the combinational gates as a
+// dense stream for full sweeps. Backends interpret the same stream with
+// their own value planes — ParallelSimulator with one 64-pattern word per
+// gate, ThreeValuedSimulator with dual (value, known) bitplanes — and share
+// LevelWorklist for dirty-cone incremental scheduling.
+//
+// The netlist must not be mutated (substitute_type) after compilation: gate
+// functions are baked into the opcode stream. Backends own their
+// CompiledNetlist instance, so per-backend gate-substitution what-ifs
+// (set_op) never interfere across simulators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace satdiag {
+
+/// Compiled gate opcodes. 1- and 2-input gates read their operands straight
+/// from the backend's value planes (no fan-in copy); k-ary gates loop over a
+/// CSR slice.
+enum class SimOp : std::uint8_t {
+  kSource,  // PI / DFF output / constant: never evaluated
+  kBuf,
+  kNot,
+  kAnd2,
+  kNand2,
+  kOr2,
+  kNor2,
+  kXor2,
+  kXnor2,
+  kAndK,
+  kNandK,
+  kOrK,
+  kNorK,
+  kXorK,
+  kXnorK,
+};
+
+struct SimInstr {
+  std::uint32_t a = 0;  // fanin id (1/2-input) or CSR offset (k-ary)
+  std::uint32_t b = 0;  // second fanin id (2-input) or fanin count (k-ary)
+  SimOp op = SimOp::kSource;
+};
+
+class CompiledNetlist {
+ public:
+  explicit CompiledNetlist(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+
+  /// Opcode for evaluating `type` at the given fan-in count. Unary AND/OR/
+  /// XOR collapse to the identity, unary NAND/NOR/XNOR to the inverter.
+  static SimOp opcode_for(GateType type, std::size_t arity);
+
+  SimInstr instr(GateId g) const { return instrs_[g]; }
+
+  /// Recompile one slot for a gate-substitution what-if (same arity).
+  void set_op(GateId g, SimOp op) { instrs_[g].op = op; }
+
+  GateId csr_fanin(std::uint32_t slot) const { return fanin_csr_[slot]; }
+
+  /// Combinational gates of the topological order: the full-sweep stream.
+  const std::vector<GateId>& comb_topo() const { return comb_topo_; }
+
+ private:
+  const Netlist* nl_;
+  std::vector<SimInstr> instrs_;
+  std::vector<GateId> fanin_csr_;
+  std::vector<GateId> comb_topo_;
+};
+
+/// Level-bucketed dirty-cone worklist shared by the incremental backends.
+/// Gates drain strictly level by level; a recomputation can only schedule
+/// strictly higher levels, so one sweep terminates.
+class LevelWorklist {
+ public:
+  explicit LevelWorklist(const Netlist& nl)
+      : nl_(&nl),
+        buckets_(nl.depth() + 1),
+        scheduled_(nl.size(), 0) {}
+
+  void schedule(GateId g) {
+    if (!scheduled_[g]) {
+      scheduled_[g] = 1;
+      buckets_[nl_->levels()[g]].push_back(g);
+    }
+  }
+
+  /// Schedule the combinational fanouts of g. DFFs latch only on an explicit
+  /// clock edge; the frame boundary stops the cone.
+  void schedule_fanouts(GateId g) {
+    for (GateId out : nl_->fanouts(g)) {
+      if (nl_->is_source(out)) continue;
+      schedule(out);
+    }
+  }
+
+  /// Re-evaluate all scheduled gates in level order. `eval(g)` recomputes
+  /// one gate and calls schedule_fanouts itself when the value changed.
+  template <typename Eval>
+  void drain(Eval&& eval) {
+    for (auto& bucket : buckets_) {
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        const GateId g = bucket[i];
+        scheduled_[g] = 0;
+        eval(g);
+      }
+      bucket.clear();
+    }
+  }
+
+  /// Drop all pending marks (a full sweep satisfies every dirty cone).
+  void reset() {
+    for (auto& bucket : buckets_) {
+      for (GateId g : bucket) scheduled_[g] = 0;
+      bucket.clear();
+    }
+  }
+
+ private:
+  const Netlist* nl_;
+  std::vector<std::vector<GateId>> buckets_;
+  std::vector<std::uint8_t> scheduled_;
+};
+
+}  // namespace satdiag

@@ -48,19 +48,122 @@ Val3 eval_gate_val3(GateType type, const Val3* fanins, std::size_t arity) {
   return Val3::all_x();
 }
 
-ThreeValuedSimulator::ThreeValuedSimulator(const Netlist& nl) : nl_(&nl) {
-  assert(nl.finalized());
-  values_.assign(nl.size(), Val3::all_x());
-  x_mask_.assign(nl.size(), 0);
-  for (GateId g = 0; g < nl.size(); ++g) {
-    if (nl.type(g) == GateType::kConst0) values_[g] = Val3::all(false);
-    if (nl.type(g) == GateType::kConst1) values_[g] = Val3::all(true);
+ThreeValuedSimulator::ThreeValuedSimulator(const Netlist& nl)
+    : nl_(&nl), compiled_(nl), worklist_(nl) {
+  const std::size_t n = nl.size();
+  val_.assign(n, 0);
+  known_.assign(n, 0);
+  x_mask_.assign(n, 0);
+  on_x_trail_.assign(n, 0);
+  for (GateId g = 0; g < n; ++g) {
+    if (nl.type(g) == GateType::kConst0) known_[g] = ~0ULL;
+    if (nl.type(g) == GateType::kConst1) {
+      val_[g] = ~0ULL;
+      known_[g] = ~0ULL;
+    }
   }
 }
 
+// ---------------------------------------------------------------------------
+// Compiled (value, known) evaluation
+//
+// Bitplane algebra (operands normalized: val ⊆ known, X lanes read 0):
+//   known-1 mask of a gate is `val`, known-0 mask is `known & ~val`.
+//   AND:  1 iff all 1; known iff all known or some known-0.
+//   OR:   1 iff some 1; known iff all known or some known-1.
+//   XOR:  known iff all known.
+//   Negation complements the value lanes inside `known` and preserves it.
+// These match the dual-rail fold of eval_gate_val3 bit for bit, which the
+// differential tests (run() vs run_full()) enforce.
+
+ThreeValuedSimulator::Planes ThreeValuedSimulator::exec(GateId g) const {
+  const SimInstr in = compiled_.instr(g);
+  const auto fetch = [this](GateId f) {
+    return Planes{val_[f], known_[f]};
+  };
+  const auto and2 = [](Planes a, Planes b) {
+    return Planes{a.val & b.val, (a.known & b.known) | (a.known & ~a.val) |
+                                     (b.known & ~b.val)};
+  };
+  const auto or2 = [](Planes a, Planes b) {
+    return Planes{a.val | b.val, (a.known & b.known) | a.val | b.val};
+  };
+  const auto xor2 = [](Planes a, Planes b) {
+    const std::uint64_t k = a.known & b.known;
+    return Planes{(a.val ^ b.val) & k, k};
+  };
+  const auto invert = [](Planes p) {
+    return Planes{p.known & ~p.val, p.known};
+  };
+  switch (in.op) {
+    case SimOp::kSource:
+      return fetch(g);
+    case SimOp::kBuf:
+      return fetch(in.a);
+    case SimOp::kNot:
+      return invert(fetch(in.a));
+    case SimOp::kAnd2:
+      return and2(fetch(in.a), fetch(in.b));
+    case SimOp::kNand2:
+      return invert(and2(fetch(in.a), fetch(in.b)));
+    case SimOp::kOr2:
+      return or2(fetch(in.a), fetch(in.b));
+    case SimOp::kNor2:
+      return invert(or2(fetch(in.a), fetch(in.b)));
+    case SimOp::kXor2:
+      return xor2(fetch(in.a), fetch(in.b));
+    case SimOp::kXnor2:
+      return invert(xor2(fetch(in.a), fetch(in.b)));
+    case SimOp::kAndK:
+    case SimOp::kNandK: {
+      Planes acc{~0ULL, ~0ULL};
+      for (std::uint32_t i = 0; i < in.b; ++i) {
+        acc = and2(acc, fetch(compiled_.csr_fanin(in.a + i)));
+      }
+      return in.op == SimOp::kAndK ? acc : invert(acc);
+    }
+    case SimOp::kOrK:
+    case SimOp::kNorK: {
+      Planes acc{0ULL, ~0ULL};
+      for (std::uint32_t i = 0; i < in.b; ++i) {
+        acc = or2(acc, fetch(compiled_.csr_fanin(in.a + i)));
+      }
+      return in.op == SimOp::kOrK ? acc : invert(acc);
+    }
+    case SimOp::kXorK:
+    case SimOp::kXnorK: {
+      Planes acc{0ULL, ~0ULL};
+      for (std::uint32_t i = 0; i < in.b; ++i) {
+        acc = xor2(acc, fetch(compiled_.csr_fanin(in.a + i)));
+      }
+      return in.op == SimOp::kXorK ? acc : invert(acc);
+    }
+  }
+  return Planes{};
+}
+
+// ---------------------------------------------------------------------------
+// Dirty-cone bookkeeping
+
+void ThreeValuedSimulator::schedule(GateId g) {
+  if (!all_dirty_) worklist_.schedule(g);
+}
+
+void ThreeValuedSimulator::schedule_fanouts(GateId g) {
+  if (!all_dirty_) worklist_.schedule_fanouts(g);
+}
+
+// ---------------------------------------------------------------------------
+// Mutators
+
 void ThreeValuedSimulator::set_source(GateId g, Val3 v) {
   assert(nl_->is_source(g));
-  values_[g] = v;
+  Planes p{v.one, v.one | v.zero};
+  if (x_mask_[g]) apply_mask(g, p);  // a live injection keeps masking lanes
+  if (p != Planes{val_[g], known_[g]}) {
+    store(g, p);
+    schedule_fanouts(g);
+  }
 }
 
 void ThreeValuedSimulator::set_input_vector(std::size_t bit,
@@ -69,37 +172,91 @@ void ThreeValuedSimulator::set_input_vector(std::size_t bit,
   assert(bits.size() == nl_->inputs().size());
   const std::uint64_t mask = 1ULL << bit;
   for (std::size_t i = 0; i < bits.size(); ++i) {
-    Val3& v = values_[nl_->inputs()[i]];
-    v.one &= ~mask;
-    v.zero &= ~mask;
-    (bits[i] ? v.one : v.zero) |= mask;
+    const GateId g = nl_->inputs()[i];
+    Planes p{val_[g], known_[g]};
+    p.val = bits[i] ? (p.val | mask) : (p.val & ~mask);
+    p.known |= mask;
+    if (x_mask_[g]) apply_mask(g, p);
+    if (p != Planes{val_[g], known_[g]}) {
+      store(g, p);
+      schedule_fanouts(g);
+    }
   }
 }
 
 void ThreeValuedSimulator::inject_x(GateId g, std::uint64_t mask) {
+  if (!on_x_trail_[g]) {
+    on_x_trail_[g] = 1;
+    x_trail_.push_back(g);
+  }
   x_mask_[g] |= mask;
+  schedule(g);
 }
 
 void ThreeValuedSimulator::clear_overrides() {
-  x_mask_.assign(nl_->size(), 0);
+  for (GateId g : x_trail_) {
+    on_x_trail_[g] = 0;
+    x_mask_[g] = 0;
+    schedule(g);  // its cone reverts on the next run()
+  }
+  x_trail_.clear();
 }
 
+// ---------------------------------------------------------------------------
+// Evaluation
+
 void ThreeValuedSimulator::run() {
+  if (all_dirty_) {
+    // First evaluation: one pass over the compiled stream in topological
+    // order. X-injected sources are masked up front; combinational
+    // injections are applied in-stream.
+    for (GateId g : x_trail_) {
+      if (nl_->is_source(g)) {
+        Planes p{val_[g], known_[g]};
+        apply_mask(g, p);
+        store(g, p);
+      }
+    }
+    for (GateId g : compiled_.comb_topo()) {
+      Planes p = exec(g);
+      if (x_mask_[g]) apply_mask(g, p);
+      store(g, p);
+    }
+    worklist_.reset();
+    all_dirty_ = false;
+    return;
+  }
+  worklist_.drain([this](GateId g) {
+    Planes p = exec(g);  // SimOp::kSource returns the stored planes
+    if (x_mask_[g]) apply_mask(g, p);
+    if (p != Planes{val_[g], known_[g]}) {
+      store(g, p);
+      worklist_.schedule_fanouts(g);  // appends strictly higher levels only
+    }
+  });
+}
+
+void ThreeValuedSimulator::run_full() {
   for (GateId g : nl_->topo_order()) {
     if (nl_->is_combinational(g)) {
       const auto fanins = nl_->fanins(g);
       fanin_buf_.resize(fanins.size());
       for (std::size_t i = 0; i < fanins.size(); ++i) {
-        fanin_buf_[i] = values_[fanins[i]];
+        fanin_buf_[i] = value(fanins[i]);
       }
-      values_[g] =
+      const Val3 v =
           eval_gate_val3(nl_->type(g), fanin_buf_.data(), fanin_buf_.size());
+      store(g, Planes{v.one, v.one | v.zero});
     }
     if (x_mask_[g]) {
-      values_[g].one &= ~x_mask_[g];
-      values_[g].zero &= ~x_mask_[g];
+      Planes p{val_[g], known_[g]};
+      apply_mask(g, p);
+      store(g, p);
     }
   }
+  // A full sweep satisfies every pending dirty mark.
+  worklist_.reset();
+  all_dirty_ = false;
 }
 
 }  // namespace satdiag

@@ -1,17 +1,37 @@
-// Three-valued (0/1/X) parallel simulation in dual-rail encoding.
+// Three-valued (0/1/X) parallel simulation.
 //
-// Each gate carries two 64-bit words: `one` (patterns where the value is
-// definitely 1) and `zero` (definitely 0); a pattern with neither bit set is
-// X. Used by the X-list diagnosis baseline (Boppana et al., DAC'99) and by
-// the simulation-side effect-analysis check: injecting X at a candidate and
+// Each gate carries two 64-bit words. The public Val3 interface exposes the
+// classic dual-rail view — `one` (patterns where the value is definitely 1)
+// and `zero` (definitely 0); a pattern with neither bit set is X. Used by
+// the X-list diagnosis baseline (Boppana et al., DAC'99) and by the
+// simulation-side effect-analysis check: injecting X at a candidate and
 // watching whether the X reaches the erroneous output is the pessimistic
 // version of "can changing this gate affect the output".
+//
+// The engine is a backend of the shared CompiledNetlist kernel
+// (sim/compiled.hpp): internally each gate stores dual (value, known)
+// bitplanes — `value` holds the 1-bits, `known` the non-X bits, with the
+// invariant value ⊆ known — evaluated over the same opcode stream as the
+// 2-valued simulator. run() is dirty-cone incremental: X-injection sites,
+// source changes, and cleared overrides seed a level-ordered worklist and
+// only their fanout cones are re-evaluated, so an X-list loop that moves
+// the injection site pays O(|fanout cone|) per candidate instead of
+// O(|circuit|). The pre-kernel full-resweep path is retained as run_full(),
+// the semantic anchor for the differential tests in
+// tests/sim/sim3_diff_test.cpp.
+//
+// Caveat (same convention as ParallelSimulator value overrides on sources):
+// injecting X directly at a *source* gate masks its stored word in place;
+// after clear_overrides() the source stays X until re-assigned with
+// set_source/set_input_vector. No in-tree caller injects X at sources —
+// candidate pools contain combinational gates only.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/compiled.hpp"
 
 namespace satdiag {
 
@@ -32,12 +52,15 @@ struct Val3 {
   friend bool operator==(const Val3&, const Val3&) = default;
 };
 
-/// Dual-rail gate evaluation.
+/// Dual-rail gate evaluation (generic dispatch; the run_full() reference and
+/// unit tests use it directly).
 Val3 eval_gate_val3(GateType type, const Val3* fanins, std::size_t arity);
 
 class ThreeValuedSimulator {
  public:
   explicit ThreeValuedSimulator(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
 
   void set_source(GateId g, Val3 v);
   /// Pattern slot `bit` of every primary input.
@@ -46,17 +69,59 @@ class ThreeValuedSimulator {
   /// Force a gate to X (in all pattern slots of `mask`); the override
   /// survives until clear_overrides().
   void inject_x(GateId g, std::uint64_t mask = ~0ULL);
+
+  /// Drop all X injections; O(#injected gates), and only their cones are
+  /// re-evaluated by the next run().
   void clear_overrides();
 
+  /// Evaluate the combinational frame. Incremental: only the fanout cones of
+  /// sources/injections changed since the previous run() are recomputed.
   void run();
 
-  Val3 value(GateId g) const { return values_[g]; }
+  /// Reference evaluation path: a full topological resweep through the
+  /// generic dual-rail dispatch (the pre-kernel implementation). Kept as the
+  /// semantic anchor for differential tests; equivalent to run() but always
+  /// O(|circuit|).
+  void run_full();
+
+  Val3 value(GateId g) const {
+    return Val3{val_[g], known_[g] & ~val_[g]};
+  }
 
  private:
+  // Dual bitplanes of one gate: `val` are the 1-lanes, `known` the non-X
+  // lanes; val ⊆ known always holds (X lanes read 0 in val).
+  struct Planes {
+    std::uint64_t val = 0;
+    std::uint64_t known = 0;
+
+    friend bool operator==(const Planes&, const Planes&) = default;
+  };
+
+  Planes exec(GateId g) const;
+  void store(GateId g, Planes p) {
+    val_[g] = p.val;
+    known_[g] = p.known;
+  }
+  void apply_mask(GateId g, Planes& p) const {
+    p.val &= ~x_mask_[g];
+    p.known &= ~x_mask_[g];
+  }
+  void schedule(GateId g);
+  void schedule_fanouts(GateId g);
+
   const Netlist* nl_;
-  std::vector<Val3> values_;
+  CompiledNetlist compiled_;
+  LevelWorklist worklist_;
+  std::vector<std::uint64_t> val_;
+  std::vector<std::uint64_t> known_;
   std::vector<std::uint64_t> x_mask_;  // per-gate forced-X pattern mask
-  std::vector<Val3> fanin_buf_;
+  std::vector<std::uint8_t> on_x_trail_;
+  std::vector<GateId> x_trail_;  // gates with any X injection set
+
+  bool all_dirty_ = true;  // first run() is a full stream sweep
+
+  mutable std::vector<Val3> fanin_buf_;  // run_full() scratch
 };
 
 }  // namespace satdiag

@@ -4,147 +4,64 @@
 
 namespace satdiag {
 
-// ---------------------------------------------------------------------------
-// Kernel compilation
-
-ParallelSimulator::Op ParallelSimulator::opcode_for(GateType type,
-                                                    std::size_t arity) {
-  if (arity == 1) {
-    // Unary AND/OR/XOR are the identity, unary NAND/NOR/XNOR the inverter.
-    switch (type) {
-      case GateType::kBuf:
-      case GateType::kAnd:
-      case GateType::kOr:
-      case GateType::kXor:
-        return Op::kBuf;
-      case GateType::kNot:
-      case GateType::kNand:
-      case GateType::kNor:
-      case GateType::kXnor:
-        return Op::kNot;
-      default:
-        break;
-    }
-  } else if (arity == 2) {
-    switch (type) {
-      case GateType::kAnd:
-        return Op::kAnd2;
-      case GateType::kNand:
-        return Op::kNand2;
-      case GateType::kOr:
-        return Op::kOr2;
-      case GateType::kNor:
-        return Op::kNor2;
-      case GateType::kXor:
-        return Op::kXor2;
-      case GateType::kXnor:
-        return Op::kXnor2;
-      default:
-        break;
-    }
-  } else {
-    switch (type) {
-      case GateType::kAnd:
-        return Op::kAndK;
-      case GateType::kNand:
-        return Op::kNandK;
-      case GateType::kOr:
-        return Op::kOrK;
-      case GateType::kNor:
-        return Op::kNorK;
-      case GateType::kXor:
-        return Op::kXorK;
-      case GateType::kXnor:
-        return Op::kXnorK;
-      default:
-        break;
-    }
-  }
-  assert(false && "no combinational opcode for this type/arity");
-  return Op::kSource;
-}
-
-ParallelSimulator::ParallelSimulator(const Netlist& nl) : nl_(&nl) {
-  assert(nl.finalized());
+ParallelSimulator::ParallelSimulator(const Netlist& nl)
+    : nl_(&nl), compiled_(nl), worklist_(nl) {
   const std::size_t n = nl.size();
   values_.assign(n, 0);
   has_value_override_.assign(n, 0);
   value_override_.assign(n, 0);
   on_override_trail_.assign(n, 0);
   eval_type_.resize(n);
-  instrs_.resize(n);
-  scheduled_.assign(n, 0);
-  level_queue_.resize(nl.depth() + 1);
-  comb_topo_.reserve(nl.num_combinational_gates());
-
   for (GateId g = 0; g < n; ++g) {
     eval_type_[g] = nl.type(g);
-    if (nl.is_combinational(g)) {
-      const auto fanins = nl.fanins(g);
-      Instr in;
-      in.op = opcode_for(nl.type(g), fanins.size());
-      if (fanins.size() <= 2) {
-        in.a = fanins[0];
-        if (fanins.size() == 2) in.b = fanins[1];
-      } else {
-        in.a = static_cast<std::uint32_t>(fanin_csr_.size());
-        in.b = static_cast<std::uint32_t>(fanins.size());
-        fanin_csr_.insert(fanin_csr_.end(), fanins.begin(), fanins.end());
-      }
-      instrs_[g] = in;
-    } else if (nl.type(g) == GateType::kConst1) {
-      values_[g] = ~0ULL;
-    }
-  }
-  for (GateId g : nl.topo_order()) {
-    if (nl.is_combinational(g)) comb_topo_.push_back(g);
+    if (nl.type(g) == GateType::kConst1) values_[g] = ~0ULL;
   }
 }
 
 std::uint64_t ParallelSimulator::exec(GateId g) const {
-  const Instr in = instrs_[g];
+  const SimInstr in = compiled_.instr(g);
   switch (in.op) {
-    case Op::kSource:
+    case SimOp::kSource:
       return values_[g];
-    case Op::kBuf:
+    case SimOp::kBuf:
       return values_[in.a];
-    case Op::kNot:
+    case SimOp::kNot:
       return ~values_[in.a];
-    case Op::kAnd2:
+    case SimOp::kAnd2:
       return values_[in.a] & values_[in.b];
-    case Op::kNand2:
+    case SimOp::kNand2:
       return ~(values_[in.a] & values_[in.b]);
-    case Op::kOr2:
+    case SimOp::kOr2:
       return values_[in.a] | values_[in.b];
-    case Op::kNor2:
+    case SimOp::kNor2:
       return ~(values_[in.a] | values_[in.b]);
-    case Op::kXor2:
+    case SimOp::kXor2:
       return values_[in.a] ^ values_[in.b];
-    case Op::kXnor2:
+    case SimOp::kXnor2:
       return ~(values_[in.a] ^ values_[in.b]);
-    case Op::kAndK:
-    case Op::kNandK: {
+    case SimOp::kAndK:
+    case SimOp::kNandK: {
       std::uint64_t acc = ~0ULL;
       for (std::uint32_t i = 0; i < in.b; ++i) {
-        acc &= values_[fanin_csr_[in.a + i]];
+        acc &= values_[compiled_.csr_fanin(in.a + i)];
       }
-      return in.op == Op::kAndK ? acc : ~acc;
+      return in.op == SimOp::kAndK ? acc : ~acc;
     }
-    case Op::kOrK:
-    case Op::kNorK: {
+    case SimOp::kOrK:
+    case SimOp::kNorK: {
       std::uint64_t acc = 0ULL;
       for (std::uint32_t i = 0; i < in.b; ++i) {
-        acc |= values_[fanin_csr_[in.a + i]];
+        acc |= values_[compiled_.csr_fanin(in.a + i)];
       }
-      return in.op == Op::kOrK ? acc : ~acc;
+      return in.op == SimOp::kOrK ? acc : ~acc;
     }
-    case Op::kXorK:
-    case Op::kXnorK: {
+    case SimOp::kXorK:
+    case SimOp::kXnorK: {
       std::uint64_t acc = 0ULL;
       for (std::uint32_t i = 0; i < in.b; ++i) {
-        acc ^= values_[fanin_csr_[in.a + i]];
+        acc ^= values_[compiled_.csr_fanin(in.a + i)];
       }
-      return in.op == Op::kXorK ? acc : ~acc;
+      return in.op == SimOp::kXorK ? acc : ~acc;
     }
   }
   return 0ULL;
@@ -154,30 +71,17 @@ std::uint64_t ParallelSimulator::exec(GateId g) const {
 // Dirty-cone bookkeeping
 
 void ParallelSimulator::schedule(GateId g) {
-  if (all_dirty_ || scheduled_[g]) return;
-  scheduled_[g] = 1;
-  level_queue_[nl_->levels()[g]].push_back(g);
+  if (!all_dirty_) worklist_.schedule(g);
 }
 
 void ParallelSimulator::schedule_fanouts(GateId g) {
-  for (GateId out : nl_->fanouts(g)) {
-    // DFFs latch only on step_state(); the frame boundary stops the cone.
-    if (nl_->is_source(out)) continue;
-    schedule(out);
-  }
+  if (!all_dirty_) worklist_.schedule_fanouts(g);
 }
 
 void ParallelSimulator::mark_override(GateId g) {
   if (!on_override_trail_[g]) {
     on_override_trail_[g] = 1;
     override_trail_.push_back(g);
-  }
-}
-
-void ParallelSimulator::reset_worklist() {
-  for (auto& bucket : level_queue_) {
-    for (GateId g : bucket) scheduled_[g] = 0;
-    bucket.clear();
   }
 }
 
@@ -209,7 +113,7 @@ void ParallelSimulator::set_input_vector(std::size_t bit,
         bits[i] ? (values_[g] | mask) : (values_[g] & ~mask);
     if (next != values_[g]) {
       values_[g] = next;
-      if (!all_dirty_) schedule_fanouts(g);
+      schedule_fanouts(g);
     }
   }
 }
@@ -227,7 +131,7 @@ void ParallelSimulator::set_type_override(GateId g, GateType type) {
   if (eval_type_[g] == type) return;
   mark_override(g);
   eval_type_[g] = type;
-  instrs_[g].op = opcode_for(type, nl_->fanins(g).size());
+  compiled_.set_op(g, CompiledNetlist::opcode_for(type, nl_->fanins(g).size()));
   schedule(g);
 }
 
@@ -237,7 +141,8 @@ void ParallelSimulator::clear_overrides() {
     has_value_override_[g] = 0;
     if (eval_type_[g] != nl_->type(g)) {
       eval_type_[g] = nl_->type(g);
-      instrs_[g].op = opcode_for(nl_->type(g), nl_->fanins(g).size());
+      compiled_.set_op(
+          g, CompiledNetlist::opcode_for(nl_->type(g), nl_->fanins(g).size()));
     }
     schedule(g);  // its cone reverts on the next run()
   }
@@ -257,28 +162,23 @@ void ParallelSimulator::run() {
         values_[g] = value_override_[g];
       }
     }
-    for (GateId g : comb_topo_) {
+    for (GateId g : compiled_.comb_topo()) {
       std::uint64_t v = exec(g);
       if (has_value_override_[g]) v = value_override_[g];
       values_[g] = v;
     }
-    reset_worklist();
+    worklist_.reset();
     all_dirty_ = false;
     return;
   }
-  for (auto& bucket : level_queue_) {
-    for (std::size_t i = 0; i < bucket.size(); ++i) {
-      const GateId g = bucket[i];
-      scheduled_[g] = 0;
-      std::uint64_t v = exec(g);  // Op::kSource returns values_[g]
-      if (has_value_override_[g]) v = value_override_[g];
-      if (v != values_[g]) {
-        values_[g] = v;
-        schedule_fanouts(g);  // appends strictly higher levels only
-      }
+  worklist_.drain([this](GateId g) {
+    std::uint64_t v = exec(g);  // SimOp::kSource returns values_[g]
+    if (has_value_override_[g]) v = value_override_[g];
+    if (v != values_[g]) {
+      values_[g] = v;
+      worklist_.schedule_fanouts(g);  // appends strictly higher levels only
     }
-    bucket.clear();
-  }
+  });
 }
 
 void ParallelSimulator::run_full() {
@@ -295,7 +195,7 @@ void ParallelSimulator::run_full() {
     if (has_value_override_[g]) values_[g] = value_override_[g];
   }
   // A full sweep satisfies every pending dirty mark.
-  reset_worklist();
+  worklist_.reset();
   all_dirty_ = false;
 }
 

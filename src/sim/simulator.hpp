@@ -4,15 +4,16 @@
 // 64 test vectors — the "efficient parallel simulation techniques with linear
 // runtimes" the paper attributes to simulation-based diagnosis.
 //
-// The evaluation core is a kernel compiled once in the constructor: a
-// flattened opcode stream over the topological order with CSR fan-in
-// indices, specialized no-copy fast paths for 1- and 2-input gates, and
-// dirty-cone incremental resimulation. Sources and overrides changed since
-// the last run() seed a level-ordered worklist; only the affected fanout
-// cone is re-evaluated, and gates whose 64-pattern word comes out unchanged
-// terminate their cone early. A diagnosis loop that flips one override per
-// candidate therefore pays O(|fanout cone|) per run() instead of
-// O(|circuit|).
+// The evaluation core is the shared CompiledNetlist kernel (sim/compiled.hpp)
+// interpreted over one 64-pattern word per gate, with dirty-cone incremental
+// resimulation: sources and overrides changed since the last run() seed a
+// level-ordered worklist; only the affected fanout cone is re-evaluated, and
+// gates whose 64-pattern word comes out unchanged terminate their cone
+// early. A diagnosis loop that flips one override per candidate therefore
+// pays O(|fanout cone|) per run() instead of O(|circuit|). This same role —
+// fast what-if resimulation after a baseline sweep — used to be a separate
+// EventSimulator class; it is now simply this incremental mode
+// (set_value_override / set_type_override, run(), clear_overrides()).
 //
 // The netlist must not be mutated (substitute_type) after the simulator is
 // constructed: gate functions are compiled into the opcode stream. Use
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/compiled.hpp"
 
 namespace satdiag {
 
@@ -75,40 +77,14 @@ class ParallelSimulator {
   std::span<const std::uint64_t> values() const { return values_; }
 
  private:
-  // Compiled gate opcodes. 1- and 2-input gates read their operands straight
-  // from values_ (no fan-in copy); k-ary gates loop over a CSR slice.
-  enum class Op : std::uint8_t {
-    kSource,  // PI / DFF output / constant: never evaluated
-    kBuf,
-    kNot,
-    kAnd2,
-    kNand2,
-    kOr2,
-    kNor2,
-    kXor2,
-    kXnor2,
-    kAndK,
-    kNandK,
-    kOrK,
-    kNorK,
-    kXorK,
-    kXnorK,
-  };
-
-  struct Instr {
-    std::uint32_t a = 0;  // fanin id (1/2-input) or CSR offset (k-ary)
-    std::uint32_t b = 0;  // second fanin id (2-input) or fanin count (k-ary)
-    Op op = Op::kSource;
-  };
-
-  static Op opcode_for(GateType type, std::size_t arity);
   std::uint64_t exec(GateId g) const;
   void schedule(GateId g);
   void schedule_fanouts(GateId g);
   void mark_override(GateId g);
-  void reset_worklist();
 
   const Netlist* nl_;
+  CompiledNetlist compiled_;
+  LevelWorklist worklist_;
   std::vector<std::uint64_t> values_;
   std::vector<std::uint8_t> has_value_override_;
   std::vector<std::uint64_t> value_override_;
@@ -116,15 +92,6 @@ class ParallelSimulator {
   std::vector<std::uint8_t> on_override_trail_;
   std::vector<GateId> override_trail_;  // gates with any override set
 
-  // Compiled kernel: per-gate instruction, flattened k-ary fanins, and the
-  // combinational gates of the topological order (the full-sweep stream).
-  std::vector<Instr> instrs_;
-  std::vector<GateId> fanin_csr_;
-  std::vector<GateId> comb_topo_;
-
-  // Dirty-cone worklist: level-bucketed queue of gates to re-evaluate.
-  std::vector<std::vector<GateId>> level_queue_;
-  std::vector<std::uint8_t> scheduled_;
   bool all_dirty_ = true;  // first run() is a full stream sweep
 
   mutable std::vector<std::uint64_t> fanin_buf_;  // run_full() scratch

@@ -44,6 +44,13 @@ BENCHES = {
         ["--profile", "s38417_like", "--scale", "1.0", "--seed", "1",
          "--rounds", "1", "--json"],
     ),
+    # Simulation-bound: X-list diagnosis, one 3-valued X-injection sweep per
+    # candidate gate (the ThreeValuedSimulator hot loop).
+    "xlist_sim3": (
+        "bench_xlist",
+        ["--circuit", "s38417_like", "--scale", "1.0", "--errors", "2",
+         "--tests", "16", "--seed", "1", "--rounds", "1", "--json"],
+    ),
 }
 
 
