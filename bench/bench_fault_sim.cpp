@@ -8,17 +8,20 @@
 // a full-resim simulator pays O(|circuit|) per candidate, a cone-limited one
 // O(|fanout cone|).
 //
-// Uses only the public ParallelSimulator API so the same driver binary is
-// meaningful before and after engine changes (see tools/bench_runner.py).
+// Uses only the public fault-simulation API (fault/fault_sim.hpp, hosted on
+// the exec/ runtime) so the same driver binary is meaningful before and
+// after engine changes (see tools/bench_runner.py). --threads N shards the
+// candidate axis across the pool; detection counts are bit-identical for
+// every thread count.
 //
 // Run:  ./bench_fault_sim [--profile s5378_like] [--scale 1.0] [--seed 1]
-//       [--rounds 2] [--json]
+//       [--rounds 2] [--threads 1] [--json]
 #include <cstdio>
 #include <vector>
 
+#include "fault/fault_sim.hpp"
 #include "gen/profiles.hpp"
 #include "netlist/scan.hpp"
-#include "sim/simulator.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -38,7 +41,12 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("seed", 1));
   const std::size_t rounds =
       static_cast<std::size_t>(args.get_int("rounds", 2));
+  const std::int64_t threads = args.get_int("threads", 1);
   const bool json = args.get_bool("json", false);
+  if (threads < 1) {
+    std::fprintf(stderr, "--threads must be >= 1\n");
+    return 2;
+  }
   // A typo'd flag must not silently fall back to a default workload: the
   // recorded BENCH_*.json timings would compare different work.
   for (const std::string& flag : args.unused()) {
@@ -53,55 +61,38 @@ int main(int argc, char** argv) {
   }
   const Netlist nl =
       make_full_scan(make_profile_circuit(*profile, scale, seed)).comb;
-
-  std::vector<GateId> sites;
-  for (GateId g = 0; g < nl.size(); ++g) {
-    if (nl.is_combinational(g)) sites.push_back(g);
-  }
+  const std::vector<GateId> sites = stuck_at_sites(nl);
 
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
-  ParallelSimulator sim(nl);
-  std::vector<std::uint64_t> golden(nl.outputs().size());
-
-  std::size_t faults = 0;
-  std::size_t detected = 0;
+  StuckAtFaultSimOptions options;
+  options.rounds = rounds;
+  options.num_threads = static_cast<std::size_t>(threads);
+  // The timed region includes the pool spawn and the prototype simulator's
+  // opcode-stream compilation (the pre-PR4 driver compiled before timing);
+  // at the pinned s38417 workload this is <2% of the row and BENCH_pr3 ->
+  // BENCH_pr4 measured 0.99x, but at toy scales the fixed setup dominates.
   Timer timer;
-  for (std::size_t round = 0; round < rounds; ++round) {
-    for (GateId in : nl.inputs()) sim.set_source(in, rng.next_u64());
-    sim.run();
-    for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
-      golden[i] = sim.value(nl.outputs()[i]);
-    }
-    for (GateId g : sites) {
-      for (int polarity = 0; polarity < 2; ++polarity) {
-        sim.set_value_override(g, polarity ? ~0ULL : 0ULL);
-        sim.run();
-        ++faults;
-        std::uint64_t diff = 0;
-        for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
-          diff |= golden[i] ^ sim.value(nl.outputs()[i]);
-        }
-        if (diff != 0) ++detected;
-        sim.clear_overrides();
-      }
-    }
-  }
+  const StuckAtFaultSimResult result =
+      simulate_stuck_at_faults(nl, sites, rng, options);
   const double seconds = timer.seconds();
 
   const double fault_patterns =
-      static_cast<double>(faults) * 64.0;  // 64 patterns per word
+      static_cast<double>(result.faults) * 64.0;  // 64 patterns per word
   if (json) {
     std::printf(
         "{\"bench\":\"fault_sim\",\"profile\":\"%s\",\"scale\":%.3f,"
         "\"gates\":%zu,\"faults\":%zu,\"detected\":%zu,\"rounds\":%zu,"
-        "\"seconds\":%.6f,\"fault_patterns_per_second\":%.0f}\n",
-        profile_name.c_str(), scale, nl.size(), faults, detected, rounds,
-        seconds, fault_patterns / seconds);
+        "\"threads\":%lld,\"seconds\":%.6f,"
+        "\"fault_patterns_per_second\":%.0f}\n",
+        profile_name.c_str(), scale, nl.size(), result.faults,
+        result.detected, rounds, static_cast<long long>(threads), seconds,
+        fault_patterns / seconds);
   } else {
     std::printf("# exhaustive stuck-at fault simulation on %s (%zu gates)\n",
                 profile_name.c_str(), nl.size());
-    std::printf("faults simulated:   %zu (x64 patterns)\n", faults);
-    std::printf("faults detected:    %zu\n", detected);
+    std::printf("faults simulated:   %zu (x64 patterns)\n", result.faults);
+    std::printf("faults detected:    %zu\n", result.detected);
+    std::printf("threads:            %lld\n", static_cast<long long>(threads));
     std::printf("elapsed:            %.3f s\n", seconds);
     std::printf("fault-patterns/s:   %.0f\n", fault_patterns / seconds);
   }

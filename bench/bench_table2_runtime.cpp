@@ -8,8 +8,12 @@
 // cell, solution cap). Pass --full for the paper-scale configuration with
 // the original 30-minute limit.
 //
+// --threads N runs whole (circuit, p, m) cells instance-parallel on the
+// exec/ runtime; the printed table is bit-identical for every thread count
+// (timing columns measure wall clock and naturally vary).
+//
 // Run:  ./bench_table2_runtime [--scale 0.25] [--limit 60] [--full]
-//       [--max-solutions 20000] [--seed 1] [--csv]
+//       [--max-solutions 20000] [--seed 1] [--threads 1] [--csv]
 #include <cstdio>
 
 #include "report/format.hpp"
@@ -29,36 +33,29 @@ int main(int argc, char** argv) {
       args.get_int("max-solutions", full ? -1 : 20000);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::int64_t threads = args.get_int("threads", 1);
   const bool csv = args.get_bool("csv", false);
+  if (threads < 1) {
+    std::fprintf(stderr, "--threads must be >= 1\n");
+    return 2;
+  }
 
-  struct Cell {
-    const char* circuit;
-    std::size_t p;
-  };
-  const Cell cells[] = {
-      {"s1423_like", 4}, {"s6669_like", 3}, {"s38417_like", 2}};
+  const std::vector<ExperimentConfig> configs =
+      table2_grid_configs(scale, limit, max_solutions, seed);
+
+  ExperimentGridOptions grid;
+  grid.num_threads = static_cast<std::size_t>(threads);
+  const std::vector<ExperimentCell> grid_cells =
+      run_experiment_grid(configs, grid);
 
   TablePrinter table(table2_header());
-  for (const Cell& cell : cells) {
-    for (std::size_t m : {4, 8, 16, 32}) {
-      ExperimentConfig config;
-      config.circuit = cell.circuit;
-      config.scale = scale;
-      config.num_errors = cell.p;
-      config.num_tests = m;
-      config.seed = seed;
-      config.time_limit_seconds = limit;
-      config.max_solutions = max_solutions;
-      const auto prepared = prepare_experiment(config);
-      if (!prepared) {
-        std::fprintf(stderr, "skipping %s m=%zu (preparation failed)\n",
-                     cell.circuit, m);
-        continue;
-      }
-      const ExperimentRow row = run_experiment(*prepared, config);
-      table.add_row(table2_row(row));
-      std::fprintf(stderr, "done %s p=%zu m=%zu\n", cell.circuit, cell.p, m);
+  for (const ExperimentCell& cell : grid_cells) {
+    if (!cell.prepared) {
+      std::fprintf(stderr, "skipping %s m=%zu (preparation failed)\n",
+                   cell.config.circuit.c_str(), cell.config.num_tests);
+      continue;
     }
+    table.add_row(table2_row(cell.row));
   }
   std::printf("# Table 2 reproduction (scale %.2f, limit %.0fs, cap %lld)\n",
               scale, limit, static_cast<long long>(max_solutions));

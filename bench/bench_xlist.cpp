@@ -37,10 +37,15 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const std::size_t rounds =
       static_cast<std::size_t>(args.get_int("rounds", 1));
+  const std::int64_t threads = args.get_int("threads", 1);
   // Unrestricted pool by default: every combinational gate is a candidate,
   // which is the simulation-bound worst case the engine must sustain.
   const bool restrict_cones = args.get_bool("restrict", false);
   const bool json = args.get_bool("json", false);
+  if (threads < 1) {
+    std::fprintf(stderr, "--threads must be >= 1\n");
+    return 2;
+  }
   // A typo'd flag must not silently fall back to a default workload: the
   // recorded BENCH_*.json timings would compare different work.
   for (const std::string& flag : args.unused()) {
@@ -57,6 +62,7 @@ int main(int argc, char** argv) {
 
   XListOptions options;
   options.restrict_to_fanin_cones = restrict_cones;
+  options.num_threads = static_cast<std::size_t>(threads);
   std::size_t candidates = 0;
   std::size_t pool = 0;
   for (GateId g = 0; g < prepared->faulty.size(); ++g) {

@@ -1,14 +1,37 @@
 #include "diag/bsat.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <memory>
+
+#include "exec/parallel.hpp"
 
 namespace satdiag {
+namespace {
 
-BsatResult basic_sat_diagnose(const Netlist& nl, const TestSet& tests,
-                              const BsatOptions& options) {
-  assert(nl.dffs().empty() && "use the full-scan view for diagnosis");
-  assert(!tests.empty());
+void seed_select_activity(sat::Solver& solver,
+                          const DiagnosisInstance& inst,
+                          const std::vector<std::uint32_t>& marks,
+                          std::size_t netlist_size) {
+  assert(marks.size() == netlist_size);
+  (void)netlist_size;
+  std::uint32_t max_marks = 1;
+  for (GateId g : inst.instrumented) {
+    max_marks = std::max(max_marks, marks[g]);
+  }
+  for (std::size_t i = 0; i < inst.instrumented.size(); ++i) {
+    const std::uint32_t m = marks[inst.instrumented[i]];
+    if (m == 0) continue;
+    solver.boost_activity(inst.select_var[i],
+                          static_cast<double>(m) /
+                              static_cast<double>(max_marks));
+    solver.set_polarity_hint(inst.select_var[i], true);
+  }
+}
+
+BsatResult serial_sat_diagnose(const Netlist& nl, const TestSet& tests,
+                               const BsatOptions& options) {
   BsatResult result;
 
   Timer build_timer;
@@ -21,35 +44,34 @@ BsatResult basic_sat_diagnose(const Netlist& nl, const TestSet& tests,
   result.num_clauses = solver.num_clauses();
 
   if (!options.select_activity_seed.empty()) {
-    assert(options.select_activity_seed.size() == nl.size());
-    std::uint32_t max_marks = 1;
-    for (GateId g : inst.instrumented) {
-      max_marks = std::max(max_marks, options.select_activity_seed[g]);
-    }
-    for (std::size_t i = 0; i < inst.instrumented.size(); ++i) {
-      const std::uint32_t marks =
-          options.select_activity_seed[inst.instrumented[i]];
-      if (marks == 0) continue;
-      solver.boost_activity(inst.select_var[i],
-                            static_cast<double>(marks) /
-                                static_cast<double>(max_marks));
-      solver.set_polarity_hint(inst.select_var[i], true);
-    }
+    seed_select_activity(solver, inst, options.select_activity_seed,
+                         nl.size());
   }
 
   Timer solve_timer;
   bool first_recorded = false;
+  // Index of the current bound's first solution: each bound's slice is
+  // sorted into the canonical order when the bound finishes (or on early
+  // exit), matching the parallel path's merge order.
+  std::size_t bound_start = 0;
+  const auto finish = [&] {
+    std::sort(result.solutions.begin() +
+                  static_cast<std::ptrdiff_t>(bound_start),
+              result.solutions.end());
+    result.all_seconds = solve_timer.seconds();
+    if (!first_recorded) result.first_seconds = result.all_seconds;
+    result.solver_stats = solver.stats();
+  };
   for (unsigned bound = 1; bound <= options.k; ++bound) {
     const auto assumptions = inst.assume_at_most(bound);
+    bound_start = result.solutions.size();
     for (;;) {
       if (options.deadline.expired() ||
           (options.max_solutions >= 0 &&
            static_cast<std::int64_t>(result.solutions.size()) >=
                options.max_solutions)) {
         result.complete = false;
-        result.all_seconds = solve_timer.seconds();
-        if (!first_recorded) result.first_seconds = result.all_seconds;
-        result.solver_stats = solver.stats();
+        finish();
         return result;
       }
       solver.set_deadline(options.deadline);
@@ -75,18 +97,206 @@ BsatResult basic_sat_diagnose(const Netlist& nl, const TestSet& tests,
       if (blocking.empty() || !solver.block_model(std::move(blocking))) {
         // Empty correction satisfies every test (cannot happen with failing
         // tests) or the instance became UNSAT: enumeration finished.
-        result.all_seconds = solve_timer.seconds();
-        if (!first_recorded) result.first_seconds = result.all_seconds;
-        result.solver_stats = solver.stats();
+        finish();
         return result;
       }
     }
+    std::sort(result.solutions.begin() +
+                  static_cast<std::ptrdiff_t>(bound_start),
+              result.solutions.end());
+    bound_start = result.solutions.size();
     if (!result.complete) break;
   }
   result.all_seconds = solve_timer.seconds();
   if (!first_recorded) result.first_seconds = result.all_seconds;
   result.solver_stats = solver.stats();
   return result;
+}
+
+/// One worker of the candidate-parallel enumeration: its own diagnosis
+/// instance over the suffix of the instrumented universe starting at its
+/// partition, constrained to corrections whose minimum gate falls inside the
+/// partition. The partitions are disjoint and exhaustive over the solution
+/// space, so the merged per-bound sets equal the serial enumeration's.
+struct BsatShard {
+  std::unique_ptr<DiagnosisInstance> inst;
+  std::vector<std::vector<GateId>> bound_solutions;
+  bool exhausted = false;  // instance became UNSAT at the root
+};
+
+BsatResult parallel_sat_diagnose(const Netlist& nl, const TestSet& tests,
+                                 const BsatOptions& options,
+                                 const std::vector<GateId>& universe) {
+  BsatResult result;
+  // Ceil division twice: first the partition width for the requested lane
+  // count, then the number of shards that width actually fills — e.g. 9
+  // gates on 8 lanes give width 2 and only 5 shards, never a shard whose
+  // begin lies past the universe end.
+  const std::size_t width =
+      std::min(options.num_threads, universe.size());
+  const std::size_t partition = (universe.size() + width - 1) / width;
+  const std::size_t num_shards =
+      (universe.size() + partition - 1) / partition;
+
+  exec::ThreadPool pool(options.num_threads);
+  std::vector<BsatShard> shards(num_shards);
+
+  Timer build_timer;
+  exec::parallel_for(
+      pool, num_shards,
+      [&](std::size_t s, std::size_t) {
+        const std::size_t begin = s * partition;
+        const std::size_t end =
+            std::min(begin + partition, universe.size());
+        DiagnosisInstanceOptions inst_options = options.instance;
+        inst_options.max_k = options.k;
+        // Suffix instrumentation: gates below the partition are owned by
+        // earlier workers (their selects would be forced off here anyway).
+        inst_options.instrumented.assign(
+            universe.begin() + static_cast<std::ptrdiff_t>(begin),
+            universe.end());
+        shards[s].inst = std::make_unique<DiagnosisInstance>(
+            build_diagnosis_instance(nl, tests, inst_options));
+        DiagnosisInstance& inst = *shards[s].inst;
+        // Minimum selected gate lies in this partition: at least one of its
+        // selects (the first end-begin instrumented gates) is on.
+        sat::Clause any_in_partition;
+        for (std::size_t i = 0; i < end - begin; ++i) {
+          any_in_partition.push_back(sat::pos(inst.select_var[i]));
+        }
+        if (!inst.solver.add_clause(std::move(any_in_partition))) {
+          shards[s].exhausted = true;
+        }
+        if (!options.select_activity_seed.empty()) {
+          seed_select_activity(inst.solver, inst,
+                               options.select_activity_seed, nl.size());
+        }
+      },
+      /*grain=*/1);
+  result.build_seconds = build_timer.seconds();
+  // Instance size is reported for the largest worker instance (worker 0
+  // instruments the full universe, like the serial solver).
+  result.num_vars =
+      static_cast<std::size_t>(shards[0].inst->solver.num_vars());
+  result.num_clauses = shards[0].inst->solver.num_clauses();
+
+  Timer solve_timer;
+  bool first_recorded = false;
+  std::atomic<std::int64_t> total_found{0};
+  std::atomic<bool> truncated{false};
+  for (unsigned bound = 1; bound <= options.k; ++bound) {
+    exec::parallel_for(
+        pool, num_shards,
+        [&](std::size_t s, std::size_t) {
+          BsatShard& shard = shards[s];
+          shard.bound_solutions.clear();
+          if (shard.exhausted) return;
+          DiagnosisInstance& inst = *shard.inst;
+          const auto assumptions = inst.assume_at_most(bound);
+          for (;;) {
+            if (options.deadline.expired() ||
+                (options.max_solutions >= 0 &&
+                 total_found.load(std::memory_order_relaxed) >=
+                     options.max_solutions)) {
+              truncated.store(true, std::memory_order_relaxed);
+              return;
+            }
+            inst.solver.set_deadline(options.deadline);
+            const sat::LBool status = inst.solver.solve(assumptions);
+            if (status == sat::LBool::kUndef) {
+              truncated.store(true, std::memory_order_relaxed);
+              return;
+            }
+            if (status == sat::LBool::kFalse) return;  // bound exhausted
+            std::vector<GateId> correction =
+                inst.selected_gates_from_model();
+            sat::Clause blocking;
+            for (GateId g : correction) {
+              blocking.push_back(
+                  sat::neg(inst.select_var[inst.select_index[g]]));
+            }
+            shard.bound_solutions.push_back(std::move(correction));
+            total_found.fetch_add(1, std::memory_order_relaxed);
+            // The partition clause guarantees non-empty corrections.
+            if (!inst.solver.block_model(std::move(blocking))) {
+              shard.exhausted = true;
+              return;
+            }
+          }
+        },
+        /*grain=*/1);
+
+    // Barrier: merge this bound in partition order, canonicalize, and
+    // cross-block. A solution's minimum gate lives in its own partition, so
+    // only earlier workers (whose instruments cover all its gates) can ever
+    // rediscover a superset — later workers need no blocking clause.
+    const std::size_t bound_start = result.solutions.size();
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      for (std::size_t t = 0; t < s; ++t) {
+        if (shards[t].exhausted) continue;
+        DiagnosisInstance& inst = *shards[t].inst;
+        for (const auto& solution : shards[s].bound_solutions) {
+          sat::Clause blocking;
+          for (GateId g : solution) {
+            blocking.push_back(
+                sat::neg(inst.select_var[inst.select_index[g]]));
+          }
+          if (!inst.solver.add_clause(std::move(blocking))) {
+            shards[t].exhausted = true;
+            break;
+          }
+        }
+      }
+      for (auto& solution : shards[s].bound_solutions) {
+        result.solutions.push_back(std::move(solution));
+      }
+      shards[s].bound_solutions.clear();
+    }
+    std::sort(result.solutions.begin() +
+                  static_cast<std::ptrdiff_t>(bound_start),
+              result.solutions.end());
+    if (options.max_solutions >= 0 &&
+        static_cast<std::int64_t>(result.solutions.size()) >
+            options.max_solutions) {
+      result.solutions.resize(
+          static_cast<std::size_t>(options.max_solutions));
+      truncated.store(true, std::memory_order_relaxed);
+    }
+    if (!first_recorded && result.solutions.size() > bound_start) {
+      result.first_seconds = solve_timer.seconds();
+      first_recorded = true;
+    }
+    if (truncated.load(std::memory_order_relaxed)) {
+      result.complete = false;
+      break;
+    }
+  }
+  result.all_seconds = solve_timer.seconds();
+  if (!first_recorded) result.first_seconds = result.all_seconds;
+  for (const BsatShard& shard : shards) {
+    result.solver_stats.merge(shard.inst->solver.stats());
+  }
+  return result;
+}
+
+}  // namespace
+
+BsatResult basic_sat_diagnose(const Netlist& nl, const TestSet& tests,
+                              const BsatOptions& options) {
+  assert(nl.dffs().empty() && "use the full-scan view for diagnosis");
+  assert(!tests.empty());
+  if (options.num_threads > 1) {
+    std::vector<GateId> universe = options.instance.instrumented;
+    if (universe.empty()) {
+      for (GateId g = 0; g < nl.size(); ++g) {
+        if (nl.is_combinational(g)) universe.push_back(g);
+      }
+    }
+    if (universe.size() > 1) {
+      return parallel_sat_diagnose(nl, tests, options, universe);
+    }
+  }
+  return serial_sat_diagnose(nl, tests, options);
 }
 
 }  // namespace satdiag

@@ -27,10 +27,21 @@ struct BsatOptions {
   /// select variables of heavily marked gates are boosted in the decision
   /// heuristic and hinted to positive polarity. Empty = off.
   std::vector<std::uint32_t> select_activity_seed;
+  /// Candidate-parallel enumeration lanes (exec/ runtime). With N > 1 the
+  /// instrumented set is partitioned by the minimum selected gate: worker t
+  /// owns its own solver over the instance restricted to corrections whose
+  /// lowest-indexed gate falls in partition t, bounds are synchronized at a
+  /// barrier where every worker's solutions are merged (canonical order)
+  /// and cross-blocked. Complete enumerations are bit-identical for every
+  /// thread count; truncated runs (deadline / max_solutions) may differ in
+  /// which solutions they kept.
+  std::size_t num_threads = 1;
 };
 
 struct BsatResult {
-  /// Essential valid corrections of size 1..k, in discovery order.
+  /// Essential valid corrections of size 1..k: bounds in ascending order,
+  /// each bound's solutions in canonical (lexicographically sorted) order —
+  /// the thread-count-invariant order of the parallel enumeration.
   std::vector<std::vector<GateId>> solutions;
   bool complete = true;
 

@@ -3,10 +3,32 @@
 #include <algorithm>
 #include <cassert>
 
+#include "exec/parallel.hpp"
 #include "sim/sim3.hpp"
 
 namespace satdiag {
 namespace {
+
+/// The x_check body over an explicit simulator (the member one for serial
+/// calls, a lane-owned clone for the batch path).
+bool x_check_with(ThreeValuedSimulator& sim, const Netlist& nl,
+                  const TestSet& tests, const std::vector<GateId>& candidate) {
+  for (std::size_t base = 0; base < tests.size(); base += 64) {
+    const std::size_t batch = std::min<std::size_t>(64, tests.size() - base);
+    for (std::size_t b = 0; b < batch; ++b) {
+      sim.set_input_vector(b, tests[base + b].input_values);
+    }
+    sim.clear_overrides();
+    for (GateId g : candidate) sim.inject_x(g);
+    sim.run();
+    for (std::size_t b = 0; b < batch; ++b) {
+      const GateId out = test_output_gate(nl, tests[base + b]);
+      if (!sim.value(out).is_x(b)) return false;
+    }
+  }
+  return true;
+}
+
 DiagnosisInstanceOptions effect_instance_options() {
   DiagnosisInstanceOptions options;
   options.max_k = 0;  // bounds are imposed via select assumptions instead
@@ -45,22 +67,22 @@ bool EffectAnalyzer::x_check(const std::vector<GateId>& candidate) const {
   // no-op for the dirty-cone engine, so with one pattern batch (≤ 64 tests)
   // only the candidate's injection cones — and the previous call's revert
   // cones — are re-evaluated.
-  ThreeValuedSimulator& sim = sim3_;
-  const TestSet& tests = *tests_;
-  for (std::size_t base = 0; base < tests.size(); base += 64) {
-    const std::size_t batch = std::min<std::size_t>(64, tests.size() - base);
-    for (std::size_t b = 0; b < batch; ++b) {
-      sim.set_input_vector(b, tests[base + b].input_values);
-    }
-    sim.clear_overrides();
-    for (GateId g : candidate) sim.inject_x(g);
-    sim.run();
-    for (std::size_t b = 0; b < batch; ++b) {
-      const GateId out = test_output_gate(*nl_, tests[base + b]);
-      if (!sim.value(out).is_x(b)) return false;
-    }
-  }
-  return true;
+  return x_check_with(sim3_, *nl_, *tests_, candidate);
+}
+
+std::vector<std::uint8_t> EffectAnalyzer::x_check_batch(
+    const std::vector<std::vector<GateId>>& candidates,
+    std::size_t num_threads) const {
+  exec::ThreadPool pool(num_threads);
+  exec::LaneLocal<ThreeValuedSimulator> lane_sim(pool.num_threads());
+  std::vector<std::uint8_t> valid(candidates.size(), 0);
+  exec::parallel_for(pool, candidates.size(), [&](std::size_t i,
+                                                  std::size_t lane) {
+    ThreeValuedSimulator& sim =
+        lane_sim.get(lane, [&] { return ThreeValuedSimulator(*nl_); });
+    valid[i] = x_check_with(sim, *nl_, *tests_, candidates[i]) ? 1 : 0;
+  });
+  return valid;
 }
 
 }  // namespace satdiag

@@ -31,9 +31,17 @@ class EffectAnalyzer {
   /// Necessary condition via 01X simulation: X injected at the candidate
   /// gates reaches the erroneous output of every test. Linear time; never
   /// returns false for a valid correction. Const but not thread-safe: it
-  /// resimulates through a mutable member simulator (one analyzer per
-  /// thread for candidate-parallel work).
+  /// resimulates through a mutable member simulator (use x_check_batch for
+  /// candidate-parallel work).
   bool x_check(const std::vector<GateId>& candidate) const;
+
+  /// Candidate-parallel x_check over the exec/ runtime: the candidates are
+  /// sharded across `num_threads` lanes, each lane owning its own
+  /// ThreeValuedSimulator. Entry i answers x_check(candidates[i]);
+  /// bit-identical to the serial calls for every thread count.
+  std::vector<std::uint8_t> x_check_batch(
+      const std::vector<std::vector<GateId>>& candidates,
+      std::size_t num_threads) const;
 
   const Netlist& netlist() const { return *nl_; }
   std::size_t checks_performed() const { return checks_; }

@@ -19,6 +19,7 @@ HybridResult hybrid_diagnose(const Netlist& nl, const TestSet& tests,
   bsat.deadline = options.deadline;
   bsat.instance.gating_clauses = true;
   bsat.instance.internal_decisions = false;
+  bsat.num_threads = options.num_threads;
 
   if (options.mode == HybridMode::kSeedActivity) {
     const BsimResult bsim =

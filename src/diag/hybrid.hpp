@@ -36,6 +36,8 @@ struct HybridOptions {
   /// neighbourhood added around covered gates.
   std::size_t neighbourhood_radius = 2;
   PathTraceOptions trace_options;
+  /// Candidate-parallel lanes for the SAT stage (see BsatOptions).
+  std::size_t num_threads = 1;
 };
 
 struct HybridResult {

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "diag/cover.hpp"
+#include "exec/parallel.hpp"
 #include "netlist/analysis.hpp"
 #include "sim/sim3.hpp"
 
@@ -12,20 +13,29 @@ namespace {
 
 /// For every combinational gate, a bitmask (over tests, up to 64) telling
 /// which tests' erroneous outputs turn X when X is injected at that gate.
-std::vector<std::uint64_t> reach_masks(const Netlist& nl, const TestSet& tests,
+/// Candidate-parallel: one primed prototype simulator is cloned per worker
+/// lane, each candidate's mask lands in its own slot — bit-identical for
+/// every thread count.
+std::vector<std::uint64_t> reach_masks(exec::ThreadPool& pool,
+                                       const Netlist& nl, const TestSet& tests,
                                        const std::vector<GateId>& candidates,
                                        const Deadline& deadline) {
   assert(tests.size() <= 64);
   std::vector<std::uint64_t> mask(nl.size(), 0);
-  ThreeValuedSimulator sim(nl);
+  // Prime the X-free evaluation once; worker clones start from the primed
+  // value planes, so each candidate pays only for the cones of its own
+  // injection and the lane's previous candidate's revert.
+  ThreeValuedSimulator prototype(nl);
   for (std::size_t b = 0; b < tests.size(); ++b) {
-    sim.set_input_vector(b, tests[b].input_values);
+    prototype.set_input_vector(b, tests[b].input_values);
   }
-  // Prime the X-free evaluation once; each candidate then pays only for the
-  // cones of its own injection and the previous candidate's revert.
-  sim.run();
-  for (GateId g : candidates) {
-    if (deadline.expired()) break;
+  prototype.run();
+  exec::LaneLocal<ThreeValuedSimulator> lane_sim(pool.num_threads());
+  exec::parallel_for(pool, candidates.size(), [&](std::size_t i,
+                                                  std::size_t lane) {
+    if (deadline.expired()) return;
+    ThreeValuedSimulator& sim = lane_sim.get(lane, [&] { return prototype; });
+    const GateId g = candidates[i];
     sim.clear_overrides();
     sim.inject_x(g);
     sim.run();
@@ -36,7 +46,7 @@ std::vector<std::uint64_t> reach_masks(const Netlist& nl, const TestSet& tests,
       }
     }
     mask[g] = m;
-  }
+  });
   return mask;
 }
 
@@ -91,6 +101,7 @@ std::vector<GateId> xlist_single_candidates(const Netlist& nl,
   std::vector<GateId> result;
   if (tests.empty()) return result;
   const std::vector<GateId> pool = candidate_pool(nl, tests, options);
+  exec::ThreadPool workers(options.num_threads);
 
   // Process tests in batches of 64 pattern slots; a candidate survives only
   // if it covers every batch completely.
@@ -108,7 +119,7 @@ std::vector<GateId> xlist_single_candidates(const Netlist& nl,
     const std::uint64_t full = batch_size == 64
                                    ? ~0ULL
                                    : ((1ULL << batch_size) - 1);
-    const auto masks = reach_masks(nl, batch, still, options.deadline);
+    const auto masks = reach_masks(workers, nl, batch, still, options.deadline);
     for (GateId g : still) {
       if (masks[g] != full) alive[g] = false;
     }
@@ -133,7 +144,8 @@ std::vector<std::vector<GateId>> xlist_tuple_candidates(
   const TestSet head(tests.begin(),
                      tests.begin() + static_cast<std::ptrdiff_t>(bound));
   const std::vector<GateId> pool = candidate_pool(nl, tests, options);
-  const auto masks = reach_masks(nl, head, pool, options.deadline);
+  exec::ThreadPool workers(options.num_threads);
+  const auto masks = reach_masks(workers, nl, head, pool, options.deadline);
 
   std::vector<std::vector<GateId>> per_test(bound);
   for (GateId g : pool) {

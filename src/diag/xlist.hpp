@@ -20,6 +20,11 @@ struct XListOptions {
   /// (an X injected elsewhere can never reach them).
   bool restrict_to_fanin_cones = true;
   Deadline deadline;
+  /// Candidate-parallel lanes (exec/ runtime): the per-candidate X-injection
+  /// sweeps are sharded over per-thread ThreeValuedSimulators cloned from
+  /// one primed prototype. Results are bit-identical for every thread count
+  /// (per-candidate masks land in per-candidate slots).
+  std::size_t num_threads = 1;
 };
 
 /// Gates g such that injecting X at g makes every test's erroneous output X.

@@ -1,0 +1,155 @@
+// Deterministic sharded map-reduce over a ThreadPool.
+//
+// The determinism contract of the execution runtime: results are bit-identical
+// for every thread count (including 1) because
+//  * work is split into contiguous index shards whose boundaries are a pure
+//    function of the item count and grain — never of the thread count,
+//  * items are processed in index order within a shard, and per-item results
+//    land in per-item (parallel_map) or per-shard (parallel_map_reduce)
+//    slots, so the dynamic shard->lane assignment cannot reorder anything,
+//  * the reduction folds shard accumulators left-to-right in shard order
+//    after the join,
+//  * stochastic shard bodies draw from a per-shard Rng stream derived from a
+//    root seed (shard_rng), not from a shared generator.
+// Lane indices exist only to address worker-owned scratch state (simulator
+// clones, per-worker solvers); the values a body computes must not depend on
+// them. Exceptions are deterministic too: every shard runs to completion (or
+// throws), and the exception of the lowest-numbered throwing shard is
+// rethrown after the join.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace satdiag::exec {
+
+/// Contiguous index shards over [0, num_items): a pure function of the item
+/// count and grain, independent of the thread count.
+struct ShardPlan {
+  std::size_t num_items = 0;
+  std::size_t grain = 1;  // items per shard; the last shard may be short
+
+  /// grain == 0 picks a default that bounds the plan at kDefaultMaxShards
+  /// shards — enough slack for dynamic load balancing at any realistic lane
+  /// count while keeping per-shard setup cost (state clones) amortized.
+  static constexpr std::size_t kDefaultMaxShards = 64;
+  static ShardPlan make(std::size_t num_items, std::size_t grain = 0);
+
+  std::size_t num_shards() const {
+    return num_items == 0 ? 0 : (num_items + grain - 1) / grain;
+  }
+  std::pair<std::size_t, std::size_t> bounds(std::size_t shard) const {
+    const std::size_t begin = shard * grain;
+    return {begin, std::min(begin + grain, num_items)};
+  }
+};
+
+/// The deterministic Rng stream of one shard: derived from the root seed and
+/// the shard index alone, so any thread count replays identical draws.
+Rng shard_rng(std::uint64_t root_seed, std::size_t shard);
+
+namespace detail {
+
+/// Runs `body(shard)` for every shard of `plan`, pulling shard indices from
+/// an atomic counter. Every shard runs (no cancellation); the exception of
+/// the lowest-numbered throwing shard is rethrown after the join.
+template <typename ShardBody>
+void run_shards(ThreadPool& pool, const ShardPlan& plan, ShardBody&& body) {
+  const std::size_t num_shards = plan.num_shards();
+  if (num_shards == 0) return;
+  std::vector<std::exception_ptr> errors(num_shards);
+  std::atomic<std::size_t> next{0};
+  pool.run_on_all([&](std::size_t lane) {
+    for (;;) {
+      const std::size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= num_shards) return;
+      try {
+        body(shard, lane);
+      } catch (...) {
+        errors[shard] = std::current_exception();
+      }
+    }
+  });
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace detail
+
+/// parallel_for: body(i, lane) for every i in [0, n), in index order within
+/// each shard. The body communicates through per-item slots it owns.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t n, Body&& body,
+                  std::size_t grain = 0) {
+  const ShardPlan plan = ShardPlan::make(n, grain);
+  detail::run_shards(pool, plan, [&](std::size_t shard, std::size_t lane) {
+    const auto [begin, end] = plan.bounds(shard);
+    for (std::size_t i = begin; i < end; ++i) body(i, lane);
+  });
+}
+
+/// parallel_map: collect fn(i, lane) into an index-ordered vector.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn,
+                            std::size_t grain = 0) {
+  std::vector<T> results(n);
+  parallel_for(
+      pool, n, [&](std::size_t i, std::size_t lane) { results[i] = fn(i, lane); },
+      grain);
+  return results;
+}
+
+/// parallel_map_reduce: each shard folds its items (in index order) into its
+/// own accumulator seeded from `identity` via map(i, acc, lane); after the
+/// join the shard accumulators are reduced left-to-right in shard order via
+/// reduce(total, std::move(acc)). Stable: the result equals the serial fold.
+template <typename R, typename Map, typename Reduce>
+R parallel_map_reduce(ThreadPool& pool, std::size_t n, R identity, Map&& map,
+                      Reduce&& reduce, std::size_t grain = 0) {
+  const ShardPlan plan = ShardPlan::make(n, grain);
+  std::vector<R> partials(plan.num_shards(), identity);
+  detail::run_shards(pool, plan, [&](std::size_t shard, std::size_t lane) {
+    const auto [begin, end] = plan.bounds(shard);
+    R& acc = partials[shard];
+    for (std::size_t i = begin; i < end; ++i) map(i, acc, lane);
+  });
+  R total = std::move(identity);
+  for (R& partial : partials) reduce(total, std::move(partial));
+  return total;
+}
+
+/// Worker-owned scratch state, created on first use per lane (e.g. simulator
+/// clones over a shared CompiledNetlist, per-worker SAT solvers). The factory
+/// must produce equivalent state for every lane: lane state carries no
+/// result-relevant history across shards.
+template <typename T>
+class LaneLocal {
+ public:
+  explicit LaneLocal(std::size_t lanes) : slots_(lanes) {}
+
+  template <typename Factory>
+  T& get(std::size_t lane, Factory&& factory) {
+    auto& slot = slots_[lane];
+    if (!slot) slot.emplace(factory());
+    return *slot;
+  }
+
+  /// Drop all lane state (e.g. between rounds whose baseline changed).
+  void reset() {
+    for (auto& slot : slots_) slot.reset();
+  }
+
+ private:
+  std::vector<std::optional<T>> slots_;
+};
+
+}  // namespace satdiag::exec

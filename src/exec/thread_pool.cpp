@@ -1,0 +1,83 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace satdiag::exec {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : lanes_(std::max<std::size_t>(1, num_threads)), errors_(lanes_) {
+  workers_.reserve(lanes_ - 1);
+  for (std::size_t lane = 1; lane < lanes_; ++lane) {
+    workers_.emplace_back([this, lane] { worker_main(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_main(std::size_t lane) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    std::exception_ptr error;
+    try {
+      (*task)(lane);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      errors_[lane] = error;
+      if (--outstanding_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(std::size_t)>& task) {
+  if (lanes_ > 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    outstanding_ = lanes_ - 1;
+    errors_.assign(lanes_, nullptr);
+    ++generation_;
+  } else {
+    errors_.assign(lanes_, nullptr);
+  }
+  work_cv_.notify_all();
+
+  // The caller is lane 0; its exception is stored like any worker's so the
+  // lowest-lane rethrow rule below treats all lanes uniformly.
+  std::exception_ptr lane0_error;
+  try {
+    task(0);
+  } catch (...) {
+    lane0_error = std::current_exception();
+  }
+
+  if (lanes_ > 1) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    task_ = nullptr;
+  }
+  errors_[0] = lane0_error;
+  for (const std::exception_ptr& error : errors_) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace satdiag::exec

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bench/builtin_circuits.hpp"
+#include "exec/parallel.hpp"
 #include "gen/profiles.hpp"
 #include "netlist/scan.hpp"
 #include "util/logging.hpp"
@@ -117,6 +118,54 @@ ExperimentRow run_experiment(const PreparedExperiment& prepared,
         prepared.faulty, result.solutions, prepared.error_sites);
   }
   return row;
+}
+
+std::vector<ExperimentConfig> table2_grid_configs(double scale, double limit,
+                                                  std::int64_t max_solutions,
+                                                  std::uint64_t seed) {
+  struct Cell {
+    const char* circuit;
+    std::size_t p;
+  };
+  static constexpr Cell kCells[] = {
+      {"s1423_like", 4}, {"s6669_like", 3}, {"s38417_like", 2}};
+  std::vector<ExperimentConfig> configs;
+  for (const Cell& cell : kCells) {
+    for (std::size_t m : {4, 8, 16, 32}) {
+      ExperimentConfig config;
+      config.circuit = cell.circuit;
+      config.scale = scale;
+      config.num_errors = cell.p;
+      config.num_tests = m;
+      config.seed = seed;
+      config.time_limit_seconds = limit;
+      config.max_solutions = max_solutions;
+      configs.push_back(std::move(config));
+    }
+  }
+  return configs;
+}
+
+std::vector<ExperimentCell> run_experiment_grid(
+    std::span<const ExperimentConfig> configs,
+    const ExperimentGridOptions& options) {
+  exec::ThreadPool pool(options.num_threads);
+  std::vector<ExperimentCell> cells(configs.size());
+  // Grain 1: a cell is minutes of work, so every cell is its own shard and
+  // idle lanes steal the next one. Each cell's randomness comes from its
+  // config seed alone — no cross-cell state, results land by index.
+  exec::parallel_for(
+      pool, configs.size(),
+      [&](std::size_t i, std::size_t) {
+        ExperimentCell& cell = cells[i];
+        cell.config = configs[i];
+        const auto prepared = prepare_experiment(cell.config);
+        if (!prepared) return;
+        cell.prepared = true;
+        cell.row = run_experiment(*prepared, cell.config, options.selection);
+      },
+      /*grain=*/1);
+  return cells;
 }
 
 }  // namespace satdiag

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 
 #include "diag/bsat.hpp"
@@ -75,5 +76,35 @@ struct RunSelection {
 ExperimentRow run_experiment(const PreparedExperiment& prepared,
                              const ExperimentConfig& config,
                              const RunSelection& selection = {});
+
+struct ExperimentGridOptions {
+  /// Instance-parallel lanes (exec/ runtime): whole (circuit, p, m) cells
+  /// are sharded across the pool; every cell derives its randomness from
+  /// its own config seed, so the grid is bit-identical for every thread
+  /// count (timing columns excepted — they measure wall clock).
+  std::size_t num_threads = 1;
+  RunSelection selection;
+};
+
+struct ExperimentCell {
+  ExperimentConfig config;
+  /// False when prepare_experiment found no detectable error / no failing
+  /// tests for this cell; `row` is then default-constructed.
+  bool prepared = false;
+  ExperimentRow row;
+};
+
+/// Prepare + run every config, one cell per grid entry, in input order.
+std::vector<ExperimentCell> run_experiment_grid(
+    std::span<const ExperimentConfig> configs,
+    const ExperimentGridOptions& options = {});
+
+/// The pinned Table-2 reproduction grid: {s1423_like p=4, s6669_like p=3,
+/// s38417_like p=2} x m in {4, 8, 16, 32}. One definition shared by
+/// bench_table2_runtime and bench_parallel's "table2_mt" workload so the
+/// serial and multi-threaded BENCH rows always measure identical work.
+std::vector<ExperimentConfig> table2_grid_configs(double scale, double limit,
+                                                  std::int64_t max_solutions,
+                                                  std::uint64_t seed);
 
 }  // namespace satdiag

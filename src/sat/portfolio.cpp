@@ -1,0 +1,81 @@
+#include "sat/portfolio.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "exec/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace satdiag::sat {
+
+PortfolioResult solve_portfolio(int num_vars,
+                                std::span<const Clause> clauses,
+                                std::span<const Lit> assumptions,
+                                const PortfolioOptions& options) {
+  const std::size_t configs = std::max<std::size_t>(1, options.num_configs);
+  PortfolioResult result;
+  result.winner = configs;
+
+  exec::ThreadPool pool(std::min(options.num_threads, configs));
+  std::atomic<bool> cancel{false};
+  std::mutex winner_mutex;
+  std::vector<Solver::Stats> per_config_stats(configs);
+
+  // One config per shard (grain 1): each lane owns one solver at a time, the
+  // interrupt flag is the only cross-lane communication.
+  exec::parallel_for(
+      pool, configs,
+      [&](std::size_t config, std::size_t) {
+        if (cancel.load(std::memory_order_relaxed)) return;
+        Solver solver;
+        for (int v = 0; v < num_vars; ++v) solver.new_var();
+        bool ok = true;
+        for (const Clause& clause : clauses) {
+          if (!solver.add_clause(clause)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok && config > 0) {
+          // Seed-perturbed heuristics: initial polarities flipped and
+          // activities noised on a random variable subset, drawn from this
+          // config's private stream.
+          Rng rng = exec::shard_rng(options.seed, config);
+          for (int v = 0; v < num_vars; ++v) {
+            if (!rng.next_bool(options.perturb_fraction)) continue;
+            solver.set_polarity_hint(v, rng.next_bool());
+            solver.boost_activity(v, 1.0 + rng.next_double());
+          }
+        }
+        LBool status = LBool::kFalse;  // !ok: UNSAT at the root
+        if (ok) {
+          solver.set_deadline(options.deadline);
+          solver.set_conflict_budget(options.conflict_budget);
+          solver.set_interrupt(&cancel);
+          status = solver.solve(assumptions);
+        }
+        per_config_stats[config] = solver.stats();
+        if (status == LBool::kUndef) return;  // budget / cancelled
+        std::lock_guard<std::mutex> lock(winner_mutex);
+        if (result.winner == configs) {
+          result.winner = config;
+          result.status = status;
+          if (status == LBool::kTrue) {
+            result.model.resize(static_cast<std::size_t>(num_vars));
+            for (int v = 0; v < num_vars; ++v) {
+              result.model[static_cast<std::size_t>(v)] =
+                  solver.model_value(v);
+            }
+          }
+          cancel.store(true, std::memory_order_relaxed);
+        }
+      },
+      /*grain=*/1);
+
+  for (const Solver::Stats& stats : per_config_stats) {
+    result.stats.merge(stats);
+  }
+  return result;
+}
+
+}  // namespace satdiag::sat

@@ -1,0 +1,59 @@
+// Seed portfolio over the CDCL solver (the CryptoMiniSat-style
+// races-over-configurations pattern).
+//
+// N solver instances attack the same formula with seed-perturbed heuristics
+// (config 0 is always the pristine solver): random initial polarities and
+// activity noise derived from a per-config Rng stream. The configurations
+// race on the execution runtime's thread pool; the first genuine answer
+// (kTrue/kFalse) raises a shared interrupt flag and the losers cancel at
+// their next budget check (Solver::set_interrupt — the same hook the
+// wall-clock deadline uses).
+//
+// Determinism contract: the *status* is deterministic (every configuration
+// agrees on satisfiability). The winning configuration — and therefore the
+// model and the merged counters — depends on wall-clock racing when
+// num_threads > 1; with num_threads == 1 configurations run in index order
+// and the result is fully deterministic. Diagnosis paths under the
+// bit-identity guarantee must therefore consume only the status, or run the
+// portfolio single-threaded.
+#pragma once
+
+#include <span>
+
+#include "sat/solver.hpp"
+
+namespace satdiag::sat {
+
+struct PortfolioOptions {
+  /// Racing configurations; config 0 is the unperturbed solver.
+  std::size_t num_configs = 4;
+  /// Lanes of the execution runtime; 1 = run configs in index order.
+  std::size_t num_threads = 1;
+  /// Root seed of the per-config heuristic perturbation streams.
+  std::uint64_t seed = 1;
+  /// Fraction of variables whose initial polarity / activity gets noised in
+  /// perturbed configs.
+  double perturb_fraction = 0.5;
+  Deadline deadline;
+  std::int64_t conflict_budget = -1;  // per configuration
+};
+
+struct PortfolioResult {
+  LBool status = LBool::kUndef;
+  /// Index of the configuration that produced `status` (first finisher);
+  /// undefined (== num_configs) when every config ran out of budget.
+  std::size_t winner = 0;
+  /// Winner's model (indexed by Var) when status == kTrue.
+  std::vector<LBool> model;
+  /// Counters summed over every configuration that ran.
+  Solver::Stats stats;
+};
+
+/// Race `options.num_configs` solvers on the formula (clauses over variables
+/// 0..num_vars-1) under the given assumptions.
+PortfolioResult solve_portfolio(int num_vars,
+                                std::span<const Clause> clauses,
+                                std::span<const Lit> assumptions,
+                                const PortfolioOptions& options);
+
+}  // namespace satdiag::sat

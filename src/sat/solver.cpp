@@ -683,6 +683,9 @@ bool Solver::within_budget() const {
       stats_.conflicts >= static_cast<std::uint64_t>(conflict_budget_)) {
     return false;
   }
+  if (interrupt_ != nullptr && interrupt_->load(std::memory_order_relaxed)) {
+    return false;
+  }
   return !deadline_.expired();
 }
 

@@ -18,6 +18,7 @@
 //    the heuristic from simulation results (Sec. 6 of the paper).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -78,6 +79,10 @@ class Solver {
   void set_conflict_budget(std::int64_t conflicts) { conflict_budget_ = conflicts; }
   void clear_budgets() { conflict_budget_ = -1; deadline_ = Deadline(); }
   void set_deadline(Deadline d) { deadline_ = d; }
+  /// Cooperative cancellation for portfolio racing: while `flag` is set the
+  /// solver behaves as if its budget expired (solve() returns kUndef at the
+  /// next budget check). The flag outlives the solve call; nullptr detaches.
+  void set_interrupt(const std::atomic<bool>* flag) { interrupt_ = flag; }
 
   // ---- heuristic hooks ------------------------------------------------------
   void set_decision_var(Var v, bool decidable);
@@ -96,6 +101,19 @@ class Solver {
     std::uint64_t learned = 0;
     std::uint64_t removed = 0;
     std::uint64_t gc_runs = 0;
+
+    /// Aggregate another solver's counters (per-worker stats of the
+    /// parallel diagnosis paths and the portfolio merge into one report).
+    void merge(const Stats& other) {
+      conflicts += other.conflicts;
+      decisions += other.decisions;
+      propagations += other.propagations;
+      binary_propagations += other.binary_propagations;
+      restarts += other.restarts;
+      learned += other.learned;
+      removed += other.removed;
+      gc_runs += other.gc_runs;
+    }
   };
   const Stats& stats() const { return stats_; }
 
@@ -249,6 +267,7 @@ class Solver {
   double max_learnts_ = 0;
   std::int64_t conflict_budget_ = -1;
   Deadline deadline_;
+  const std::atomic<bool>* interrupt_ = nullptr;
   std::uint64_t wasted_ = 0;  // arena words lost to deleted clauses
 
   Stats stats_;

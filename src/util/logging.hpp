@@ -1,8 +1,10 @@
 // Minimal leveled logger.
 //
 // The library itself is quiet by default; diagnosis drivers and benches raise
-// the level to Info to narrate progress. Not thread-safe by design: every
-// algorithm in satdiag is single-threaded (the paper's engines are too).
+// the level to Info to narrate progress. Safe to call from exec/ worker
+// threads: the level is an atomic and each line is emitted with one
+// fprintf(stderr) call (whole lines never tear, though lines from different
+// workers may interleave in any order).
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,100 @@
+// ThreadPool lifecycle, batch semantics, and exception propagation.
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+namespace satdiag::exec {
+namespace {
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneLane) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, SingleLaneRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  std::size_t calls = 0;
+  pool.run_on_all([&](std::size_t lane) {
+    EXPECT_EQ(lane, 0u);
+    seen = std::this_thread::get_id();
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPoolTest, EveryLaneRunsExactlyOnce) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.num_threads(), 4u);
+  std::mutex mutex;
+  std::multiset<std::size_t> lanes;
+  pool.run_on_all([&](std::size_t lane) {
+    std::lock_guard<std::mutex> lock(mutex);
+    lanes.insert(lane);
+  });
+  EXPECT_EQ(lanes, (std::multiset<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPoolTest, ManySequentialBatchesReuseTheWorkers) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int batch = 0; batch < 100; ++batch) {
+    pool.run_on_all([&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 300u);
+}
+
+TEST(ThreadPoolTest, WorkerExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run_on_all([&](std::size_t lane) {
+                 if (lane == 2) throw std::runtime_error("lane 2 failed");
+               }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestLaneExceptionWinsAndBatchCompletes) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  try {
+    pool.run_on_all([&](std::size_t lane) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("lane " + std::to_string(lane));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "lane 0");
+  }
+  // No lane is torn down by a sibling's failure.
+  EXPECT_EQ(ran.load(), 4u);
+}
+
+TEST(ThreadPoolTest, PoolIsUsableAfterAnExceptionBatch) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run_on_all([](std::size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  std::atomic<std::size_t> calls{0};
+  pool.run_on_all([&](std::size_t) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(calls.load(), 2u);
+}
+
+TEST(ThreadPoolTest, CallerLaneExceptionPropagatesFromSingleLanePool) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.run_on_all([](std::size_t) { throw std::logic_error("inline"); }),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace satdiag::exec

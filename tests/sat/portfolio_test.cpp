@@ -1,0 +1,145 @@
+// Seed-portfolio racing: status correctness at any thread count, loser
+// cancellation through the interrupt hook, budgets, and merged counters.
+#include "sat/portfolio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "util/rng.hpp"
+
+namespace satdiag::sat {
+namespace {
+
+std::vector<Clause> random_3sat(int num_vars, int num_clauses,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Clause> clauses;
+  clauses.reserve(static_cast<std::size_t>(num_clauses));
+  for (int c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    for (int l = 0; l < 3; ++l) {
+      const auto v = static_cast<Var>(
+          rng.next_below(static_cast<std::uint64_t>(num_vars)));
+      clause.push_back(Lit(v, rng.next_bool()));
+    }
+    clauses.push_back(std::move(clause));
+  }
+  return clauses;
+}
+
+bool model_satisfies(const std::vector<Clause>& clauses,
+                     const std::vector<LBool>& model) {
+  for (const Clause& clause : clauses) {
+    bool satisfied = false;
+    for (const Lit lit : clause) {
+      if ((model[static_cast<std::size_t>(lit.var())] ^ lit.sign()) ==
+          LBool::kTrue) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+TEST(PortfolioTest, SatInstanceYieldsAVerifiedModel) {
+  // Loose random 3-SAT (ratio 2.0) is satisfiable with overwhelming
+  // probability; the seed is pinned, so this is deterministic in practice.
+  const std::vector<Clause> clauses = random_3sat(60, 120, 11);
+  for (std::size_t threads : {1u, 4u}) {
+    PortfolioOptions options;
+    options.num_configs = 4;
+    options.num_threads = threads;
+    const PortfolioResult result = solve_portfolio(60, clauses, {}, options);
+    ASSERT_EQ(result.status, LBool::kTrue) << "threads=" << threads;
+    ASSERT_EQ(result.model.size(), 60u);
+    EXPECT_LT(result.winner, 4u);
+    EXPECT_TRUE(model_satisfies(clauses, result.model));
+  }
+}
+
+TEST(PortfolioTest, UnsatInstanceAgreesAtEveryThreadCount) {
+  // x & ~x through two forced chains.
+  std::vector<Clause> clauses = {
+      {pos(0)}, {neg(0), pos(1)}, {neg(1), pos(2)}, {neg(2)}};
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    PortfolioOptions options;
+    options.num_configs = 3;
+    options.num_threads = threads;
+    const PortfolioResult result = solve_portfolio(3, clauses, {}, options);
+    EXPECT_EQ(result.status, LBool::kFalse) << "threads=" << threads;
+  }
+}
+
+TEST(PortfolioTest, AssumptionsAreHonoured) {
+  // (a | b) with assumption ~a forces b.
+  const std::vector<Clause> clauses = {{pos(0), pos(1)}};
+  const std::vector<Lit> assumptions = {neg(0)};
+  PortfolioOptions options;
+  options.num_configs = 2;
+  const PortfolioResult result =
+      solve_portfolio(2, clauses, assumptions, options);
+  ASSERT_EQ(result.status, LBool::kTrue);
+  EXPECT_EQ(result.model[0], LBool::kFalse);
+  EXPECT_EQ(result.model[1], LBool::kTrue);
+}
+
+TEST(PortfolioTest, SingleThreadWinnerIsTheFirstConfig) {
+  // Serial portfolios run configs in index order; an easy instance is
+  // decided by config 0 and the rest are cancelled before they start.
+  const std::vector<Clause> clauses = {{pos(0)}};
+  PortfolioOptions options;
+  options.num_configs = 4;
+  options.num_threads = 1;
+  const PortfolioResult result = solve_portfolio(1, clauses, {}, options);
+  EXPECT_EQ(result.status, LBool::kTrue);
+  EXPECT_EQ(result.winner, 0u);
+}
+
+TEST(PortfolioTest, ExhaustedBudgetReportsUndef) {
+  // A hard instance with a zero conflict budget: every config gives up.
+  const std::vector<Clause> clauses = random_3sat(120, 511, 5);
+  PortfolioOptions options;
+  options.num_configs = 3;
+  options.num_threads = 2;
+  options.conflict_budget = 0;
+  const PortfolioResult result = solve_portfolio(120, clauses, {}, options);
+  EXPECT_EQ(result.status, LBool::kUndef);
+  EXPECT_EQ(result.winner, 3u);  // nobody finished
+}
+
+TEST(PortfolioTest, MergedStatsAggregateAcrossConfigs) {
+  const std::vector<Clause> clauses = random_3sat(100, 426, 17);
+  PortfolioOptions options;
+  options.num_configs = 4;
+  options.num_threads = 1;  // deterministic: every config's counters merge
+  const PortfolioResult result = solve_portfolio(100, clauses, {}, options);
+  // In the serial race the winner cancels the remaining configs before they
+  // start, but its own decisions are always counted.
+  EXPECT_GT(result.stats.decisions + result.stats.propagations, 0u);
+}
+
+TEST(SolverInterruptTest, RaisedFlagMakesSolveReturnUndef) {
+  Solver solver;
+  for (int i = 0; i < 30; ++i) solver.new_var();
+  Rng rng(23);
+  for (int c = 0; c < 128; ++c) {
+    Clause clause;
+    for (int l = 0; l < 3; ++l) {
+      clause.push_back(
+          Lit(static_cast<Var>(rng.next_below(30)), rng.next_bool()));
+    }
+    ASSERT_TRUE(solver.add_clause(std::move(clause)));
+  }
+  std::atomic<bool> flag{true};
+  solver.set_interrupt(&flag);
+  EXPECT_EQ(solver.solve(), LBool::kUndef);
+  // Detaching restores normal solving.
+  solver.set_interrupt(nullptr);
+  EXPECT_NE(solver.solve(), LBool::kUndef);
+}
+
+}  // namespace
+}  // namespace satdiag::sat

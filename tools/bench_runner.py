@@ -27,10 +27,25 @@ import time
 # be identical across runs for the wall-clock comparison to mean anything.
 BENCHES = {
     # Solver-bound: BSAT/COV/BSIM across the Table 2 grid at reduced scale.
+    # --threads 1 pins the serial baseline row (no-regression guard for the
+    # exec/ runtime); the *_mtN rows below run the identical workload on N
+    # lanes — wall-clock wins require >= N physical cores.
     "table2_runtime": (
         "bench_table2_runtime",
         ["--scale", "0.1", "--limit", "60", "--max-solutions", "2000",
-         "--seed", "1"],
+         "--seed", "1", "--threads", "1"],
+    ),
+    "table2_mt4": (
+        "bench_parallel",
+        ["--workload", "experiment", "--scale", "0.1", "--limit", "60",
+         "--max-solutions", "2000", "--seed", "1", "--threads", "4",
+         "--json"],
+    ),
+    "table2_mt8": (
+        "bench_parallel",
+        ["--workload", "experiment", "--scale", "0.1", "--limit", "60",
+         "--max-solutions", "2000", "--seed", "1", "--threads", "8",
+         "--json"],
     ),
     # Solver-bound: the advanced-SAT ablation (four BSAT variants).
     "ablation_advanced_sat": (
@@ -42,14 +57,37 @@ BENCHES = {
     "fault_sim": (
         "bench_fault_sim",
         ["--profile", "s38417_like", "--scale", "1.0", "--seed", "1",
-         "--rounds", "1", "--json"],
+         "--rounds", "1", "--threads", "1", "--json"],
+    ),
+    "fault_sim_mt4": (
+        "bench_fault_sim",
+        ["--profile", "s38417_like", "--scale", "1.0", "--seed", "1",
+         "--rounds", "1", "--threads", "4", "--json"],
+    ),
+    "fault_sim_mt8": (
+        "bench_fault_sim",
+        ["--profile", "s38417_like", "--scale", "1.0", "--seed", "1",
+         "--rounds", "1", "--threads", "8", "--json"],
     ),
     # Simulation-bound: X-list diagnosis, one 3-valued X-injection sweep per
     # candidate gate (the ThreeValuedSimulator hot loop).
     "xlist_sim3": (
         "bench_xlist",
         ["--circuit", "s38417_like", "--scale", "1.0", "--errors", "2",
-         "--tests", "16", "--seed", "1", "--rounds", "1", "--json"],
+         "--tests", "16", "--seed", "1", "--rounds", "1", "--threads", "1",
+         "--json"],
+    ),
+    "xlist_sim3_mt8": (
+        "bench_xlist",
+        ["--circuit", "s38417_like", "--scale", "1.0", "--errors", "2",
+         "--tests", "16", "--seed", "1", "--rounds", "1", "--threads", "8",
+         "--json"],
+    ),
+    # Seed-portfolio SAT racing (bench_parallel multi-workload driver).
+    "portfolio": (
+        "bench_parallel",
+        ["--workload", "portfolio", "--seed", "1", "--threads", "4",
+         "--json"],
     ),
 }
 

@@ -8,7 +8,15 @@
 //             (circuits with DFFs are converted to the full-scan view first)
 //   diagnose  faulty.bench --tests tests.txt --approach bsim|cov|bsat|hybrid
 //             [--k K] [--limit SECONDS] [--max-solutions N] [--stats]
-//             (--stats prints the SAT solver counters; bsat/hybrid only)
+//             [--threads N]
+//             (--stats prints the SAT solver counters, merged over all
+//             workers; bsat/hybrid only. --threads enables the
+//             candidate-parallel exec/ runtime for bsat/hybrid.)
+//   experiment [--circuits c1,c2,...] [--errors P] [--tests m1,m2,...]
+//             [--scale S] [--seed N] [--limit SECONDS] [--max-solutions N]
+//             [--threads N] [--csv]
+//             (Table-2-style grid over circuits x test counts; --threads
+//             runs whole cells instance-parallel.)
 //   repair    faulty.bench --tests tests.txt --gates g1,g2,...
 //
 // The bench format is ISCAS89 .bench; the test format is documented in
@@ -31,9 +39,12 @@
 #include "gen/profiles.hpp"
 #include "netlist/scan.hpp"
 #include "repair/realize.hpp"
+#include "report/experiment.hpp"
+#include "report/format.hpp"
 #include "report/testfile.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
+#include "util/table.hpp"
 
 using namespace satdiag;
 
@@ -45,9 +56,10 @@ int fail(const std::string& message) {
 }
 
 void print_usage(std::FILE* out) {
-  std::fprintf(out,
-               "usage: satdiag <gen|stats|inject|diagnose|repair> ...\n"
-               "see tools/satdiag_cli.cpp header for details\n");
+  std::fprintf(
+      out,
+      "usage: satdiag <gen|stats|inject|diagnose|experiment|repair> ...\n"
+      "see tools/satdiag_cli.cpp header for details\n");
 }
 
 int usage() {
@@ -189,6 +201,16 @@ int cmd_diagnose(const CliArgs& args) {
   if (want_stats && approach != "bsat" && approach != "hybrid") {
     return fail("--stats requires a SAT-backed approach (bsat or hybrid)");
   }
+  const std::int64_t threads = args.get_int("threads", 1);
+  if (threads < 1) {
+    return fail("--threads must be >= 1 (got " + std::to_string(threads) +
+                ")");
+  }
+  // A flag that cannot take effect must not be silently accepted: the user
+  // would believe the run was parallel.
+  if (threads > 1 && approach != "bsat" && approach != "hybrid") {
+    return fail("--threads requires a SAT-backed approach (bsat or hybrid)");
+  }
 
   if (approach == "bsim") {
     const BsimResult result = basic_sim_diagnose(nl, tests);
@@ -216,6 +238,7 @@ int cmd_diagnose(const CliArgs& args) {
     options.k = k;
     options.deadline = Deadline::after_seconds(limit);
     options.max_solutions = cap;
+    options.num_threads = static_cast<std::size_t>(threads);
     const BsatResult result = basic_sat_diagnose(nl, tests, options);
     std::printf("%zu valid corrections%s (CNF %.2fs, all %.2fs):\n",
                 result.solutions.size(), result.complete ? "" : " (truncated)",
@@ -230,6 +253,7 @@ int cmd_diagnose(const CliArgs& args) {
     options.k = k;
     options.deadline = Deadline::after_seconds(limit);
     options.max_solutions = cap;
+    options.num_threads = static_cast<std::size_t>(threads);
     const HybridResult result = hybrid_diagnose(nl, tests, options);
     std::printf("%zu valid corrections (sim %.2fs + sat %.2fs):\n",
                 result.solutions.size(), result.sim_seconds,
@@ -239,6 +263,75 @@ int cmd_diagnose(const CliArgs& args) {
     return 0;
   }
   return fail("unknown approach '" + approach + "'");
+}
+
+int cmd_experiment(const CliArgs& args) {
+  const std::int64_t threads = args.get_int("threads", 1);
+  if (threads < 1) {
+    return fail("--threads must be >= 1 (got " + std::to_string(threads) +
+                ")");
+  }
+  std::vector<std::string> circuits;
+  // Bind before split(): the views point into this string, and a temporary
+  // would be destroyed before a C++20 range-for body runs.
+  const std::string circuits_arg = args.get_string("circuits", "s1423_like");
+  for (std::string_view name : split(circuits_arg, ',')) {
+    name = trim(name);
+    if (name.empty()) continue;
+    if (!find_profile(std::string(name))) {
+      return fail("unknown profile '" + std::string(name) + "'");
+    }
+    circuits.emplace_back(name);
+  }
+  if (circuits.empty()) return fail("--circuits requires at least one name");
+  std::vector<std::size_t> test_counts;
+  const std::string tests_arg = args.get_string("tests", "4,8");
+  for (std::string_view m : split(tests_arg, ',')) {
+    m = trim(m);
+    if (m.empty()) continue;
+    // Strict parse: "8abc" must not silently run with m=8.
+    if (m.find_first_not_of("0123456789") != std::string_view::npos) {
+      return fail("--tests entries must be positive integers (got '" +
+                  std::string(m) + "')");
+    }
+    const long value = std::stol(std::string(m));
+    if (value < 1) return fail("--tests entries must be >= 1");
+    test_counts.push_back(static_cast<std::size_t>(value));
+  }
+  if (test_counts.empty()) return fail("--tests requires at least one count");
+
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& circuit : circuits) {
+    for (std::size_t m : test_counts) {
+      ExperimentConfig config;
+      config.circuit = circuit;
+      config.scale = args.get_double("scale", 0.25);
+      config.num_errors =
+          static_cast<std::size_t>(args.get_int("errors", 2));
+      config.num_tests = m;
+      config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+      config.time_limit_seconds = args.get_double("limit", 60.0);
+      config.max_solutions = args.get_int("max-solutions", -1);
+      configs.push_back(std::move(config));
+    }
+  }
+  const bool csv = args.get_bool("csv", false);
+
+  ExperimentGridOptions grid;
+  grid.num_threads = static_cast<std::size_t>(threads);
+  const std::vector<ExperimentCell> cells = run_experiment_grid(configs, grid);
+
+  TablePrinter table(table2_header());
+  for (const ExperimentCell& cell : cells) {
+    if (!cell.prepared) {
+      std::fprintf(stderr, "skipping %s m=%zu (preparation failed)\n",
+                   cell.config.circuit.c_str(), cell.config.num_tests);
+      continue;
+    }
+    table.add_row(table2_row(cell.row));
+  }
+  std::printf("%s", csv ? table.to_csv().c_str() : table.to_string().c_str());
+  return 0;
 }
 
 int cmd_repair(const CliArgs& args) {
@@ -252,7 +345,10 @@ int cmd_repair(const CliArgs& args) {
   const TestSet tests = read_test_set(in, nl);
 
   std::vector<GateId> gates;
-  for (std::string_view name : split(args.get_string("gates", ""), ',')) {
+  // Same dangling-view hazard as in cmd_experiment: keep the string alive
+  // past the range-for initializer.
+  const std::string gates_arg = args.get_string("gates", "");
+  for (std::string_view name : split(gates_arg, ',')) {
     name = trim(name);
     if (name.empty()) continue;
     const GateId g = nl.find(name);
@@ -287,7 +383,11 @@ const std::map<std::string, std::vector<std::string>> kKnownFlags = {
     {"gen", {"profile", "scale", "seed", "out"}},
     {"stats", {}},
     {"inject", {"seed", "errors", "out", "tests-out", "num-tests"}},
-    {"diagnose", {"tests", "approach", "k", "limit", "max-solutions", "stats"}},
+    {"diagnose",
+     {"tests", "approach", "k", "limit", "max-solutions", "stats", "threads"}},
+    {"experiment",
+     {"circuits", "errors", "tests", "scale", "seed", "limit", "max-solutions",
+      "threads", "csv"}},
     {"repair", {"tests", "gates"}},
 };
 
@@ -324,6 +424,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> tokens(argv, argv + argc);
   for (std::string& token : tokens) {
     if (token == "--stats") token = "--stats=true";
+    if (token == "--csv") token = "--csv=true";
   }
   std::vector<const char*> token_ptrs;
   token_ptrs.reserve(tokens.size());
@@ -342,6 +443,7 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(args);
     if (command == "inject") return cmd_inject(args);
     if (command == "diagnose") return cmd_diagnose(args);
+    if (command == "experiment") return cmd_experiment(args);
     if (command == "repair") return cmd_repair(args);
   } catch (const std::exception& e) {
     return fail(e.what());
