@@ -1,0 +1,141 @@
+// Lane-batched vs scalar candidate X-injection microbenchmark.
+//
+// Measures the raw throughput of the two 3-valued injection modes over the
+// same candidate pool and test chunk:
+//   * scalar — the pre-batching loop: one primed ThreeValuedSimulator,
+//     tests in lanes 0..|tests|, clear/inject/run per candidate,
+//   * batched — Sim3XBatch: the test chunk replicated into every lane
+//     group, 64 / |tests| candidates per sweep, merged dirty cones.
+// The computed reach masks are cross-checked for equality, so the driver
+// doubles as an end-to-end smoke of the batched mode (ctest
+// bench.smoke.xbatch). The theoretical ceiling of the batched mode is
+// 64 / |tests| per sweep; the printed speedup shows how much of it the
+// merged-cone sweeps realize on a real circuit.
+//
+// Run:  ./bench_xbatch [--circuit s38417_like] [--scale 1.0] [--errors 2]
+//       [--tests 16] [--seed 1] [--rounds 1] [--json]
+#include <cstdio>
+#include <vector>
+
+#include "report/experiment.hpp"
+#include "sim/sim3.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+using namespace satdiag;
+
+namespace {
+
+std::vector<std::uint64_t> scalar_masks(const Netlist& nl,
+                                        const TestSet& tests,
+                                        const std::vector<GateId>& pool) {
+  std::vector<std::uint64_t> masks(pool.size(), 0);
+  ThreeValuedSimulator sim(nl);
+  for (std::size_t b = 0; b < tests.size(); ++b) {
+    sim.set_input_vector(b, tests[b].input_values);
+  }
+  sim.run();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    sim.clear_overrides();
+    sim.inject_x(pool[i]);
+    sim.run();
+    for (std::size_t b = 0; b < tests.size(); ++b) {
+      if (sim.value(test_output_gate(nl, tests[b])).is_x(b)) {
+        masks[i] |= 1ULL << b;
+      }
+    }
+  }
+  return masks;
+}
+
+std::vector<std::uint64_t> batched_masks(const Netlist& nl,
+                                         const TestSet& tests,
+                                         const std::vector<GateId>& pool) {
+  std::vector<std::uint64_t> masks(pool.size(), 0);
+  Sim3XBatch batch(nl, tests);
+  const std::span<const GateId> all(pool);
+  for (std::size_t begin = 0; begin < pool.size();
+       begin += batch.capacity()) {
+    const std::size_t n = std::min(batch.capacity(), pool.size() - begin);
+    batch.run_singles(all.subspan(begin, n), &masks[begin]);
+  }
+  return masks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  std::string error;
+  if (!args.parse(argc, argv, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  ExperimentConfig config;
+  config.circuit = args.get_string("circuit", "s38417_like");
+  config.scale = args.get_double("scale", 1.0);
+  config.num_errors = static_cast<std::size_t>(args.get_int("errors", 2));
+  config.num_tests = static_cast<std::size_t>(args.get_int("tests", 16));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::size_t rounds =
+      static_cast<std::size_t>(args.get_int("rounds", 1));
+  const bool json = args.get_bool("json", false);
+  for (const std::string& flag : args.unused()) {
+    std::fprintf(stderr, "unknown flag --%s\n", flag.c_str());
+    return 2;
+  }
+
+  const auto prepared = prepare_experiment(config);
+  if (!prepared) {
+    std::fprintf(stderr, "no detectable experiment for %s\n",
+                 config.circuit.c_str());
+    return 1;
+  }
+  const Netlist& nl = prepared->faulty;
+  const TestSet& tests = prepared->tests;
+  std::vector<GateId> pool;
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (nl.is_combinational(g)) pool.push_back(g);
+  }
+
+  Timer scalar_timer;
+  std::vector<std::uint64_t> scalar;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    scalar = scalar_masks(nl, tests, pool);
+  }
+  const double scalar_seconds = scalar_timer.seconds();
+
+  Timer batched_timer;
+  std::vector<std::uint64_t> batched;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    batched = batched_masks(nl, tests, pool);
+  }
+  const double batched_seconds = batched_timer.seconds();
+
+  if (scalar != batched) {
+    std::fprintf(stderr, "FAIL: batched reach masks differ from scalar\n");
+    return 1;
+  }
+  const double speedup =
+      batched_seconds > 0 ? scalar_seconds / batched_seconds : 0.0;
+  const std::size_t per_sweep = 64 / tests.size();
+  if (json) {
+    std::printf(
+        "{\"bench\":\"xbatch\",\"circuit\":\"%s\",\"scale\":%.3f,"
+        "\"gates\":%zu,\"tests\":%zu,\"candidates\":%zu,"
+        "\"candidates_per_sweep\":%zu,\"scalar_seconds\":%.6f,"
+        "\"batched_seconds\":%.6f,\"speedup\":%.2f}\n",
+        config.circuit.c_str(), config.scale, nl.size(), tests.size(),
+        pool.size(), per_sweep, scalar_seconds, batched_seconds, speedup);
+  } else {
+    std::printf("# lane-batched vs scalar X-injection on %s (%zu gates)\n",
+                config.circuit.c_str(), nl.size());
+    std::printf("tests (lanes/group):  %zu\n", tests.size());
+    std::printf("candidates:           %zu\n", pool.size());
+    std::printf("candidates per sweep: %zu\n", per_sweep);
+    std::printf("scalar:               %.3f s\n", scalar_seconds);
+    std::printf("batched:              %.3f s\n", batched_seconds);
+    std::printf("speedup:              %.2fx\n", speedup);
+  }
+  return 0;
+}

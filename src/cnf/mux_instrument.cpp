@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "netlist/analysis.hpp"
+
 namespace satdiag {
 
 using sat::Lit;
@@ -46,6 +48,34 @@ DiagnosisInstance build_diagnosis_instance(
     }
   }
 
+  // Cone-of-influence reduction: per-copy cones of the constrained outputs,
+  // instrumented set restricted to their union. `cones` stays empty (and
+  // every gate is encoded in every copy) when the reduction is off; with
+  // constrain_passing_outputs every copy constrains all outputs, so one
+  // shared cone serves every copy.
+  std::vector<std::vector<bool>> cones;
+  if (options.cone_of_influence) {
+    std::vector<bool> union_cone(nl.size(), false);
+    if (options.constrain_passing_outputs) {
+      cones.push_back(fanin_cone(nl, nl.outputs()));
+      union_cone = cones.back();
+    } else {
+      cones.reserve(tests.size());
+      for (const Test& test : tests) {
+        cones.push_back(fanin_cone(nl, {test_output_gate(nl, test)}));
+        for (GateId g = 0; g < nl.size(); ++g) {
+          if (cones.back()[g]) union_cone[g] = true;
+        }
+      }
+    }
+    std::erase_if(inst.instrumented,
+                  [&](GateId g) { return !union_cone[g]; });
+  }
+  const auto in_copy = [&](std::size_t t, GateId g) -> bool {
+    if (cones.empty()) return true;
+    return cones.size() == 1 ? cones[0][g] : cones[t][g];
+  };
+
   // Shared select lines (free/decision variables).
   inst.select_index.assign(nl.size(), DiagnosisInstance::kNoSelect);
   for (std::size_t i = 0; i < inst.instrumented.size(); ++i) {
@@ -60,15 +90,17 @@ DiagnosisInstance build_diagnosis_instance(
     assert(test.input_values.size() == nl.inputs().size());
 
     CircuitEncoding enc;
-    enc.gate_var.resize(nl.size());
+    enc.gate_var.assign(nl.size(), -1);
     std::vector<Var>& corrections = inst.correction_var.emplace_back();
     corrections.resize(inst.instrumented.size(), -1);
 
     for (GateId g : nl.topo_order()) {
+      if (!in_copy(t, g)) continue;  // cannot influence this copy's outputs
       // Variable carrying the value seen by fanouts (post-mux).
       enc.gate_var[g] = solver.new_var(options.internal_decisions);
     }
     for (GateId g : nl.topo_order()) {
+      if (!in_copy(t, g)) continue;
       const std::uint32_t sel = inst.select_index[g];
       Lit function_out = enc.lit(g);
       if (sel != DiagnosisInstance::kNoSelect) {
@@ -111,6 +143,7 @@ DiagnosisInstance build_diagnosis_instance(
     // Constrain primary inputs to the test vector.
     for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
       const GateId in = nl.inputs()[i];
+      if (!in_copy(t, in)) continue;  // outside the cone: unencoded
       solver.add_clause(enc.lit(in, /*negated=*/!test.input_values[i]));
     }
     // Constrain the erroneous output to its correct value.

@@ -37,6 +37,17 @@ struct DiagnosisInstanceOptions {
   bool gating_clauses = true;
   /// When false, internal gate variables are not decision variables.
   bool internal_decisions = false;
+  /// Cone-of-influence reduction: each test copy encodes only the fanin
+  /// cone of that copy's constrained output(s), and the instrumented set is
+  /// intersected with the union of those cones. A gate outside every cone
+  /// can never influence a constrained output, so it is never part of a
+  /// valid *essential* correction and never changes the satisfiability of a
+  /// validity query — the enumerated solution sets are unchanged while the
+  /// instance shrinks to the relevant logic (pinned by
+  /// tests/integration/engine_agreement_test.cpp). Off by default: consumers
+  /// that read model values of arbitrary gates from the copies
+  /// (repair/realize.cpp) need the full encodings.
+  bool cone_of_influence = false;
   /// Extension beyond the paper: also pin every non-erroneous output of each
   /// test copy to its golden value (requires expected_outputs).
   bool constrain_passing_outputs = false;

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "exec/parallel.hpp"
+#include "netlist/analysis.hpp"
 
 namespace satdiag {
 namespace {
@@ -37,6 +38,7 @@ BsatResult serial_sat_diagnose(const Netlist& nl, const TestSet& tests,
   Timer build_timer;
   DiagnosisInstanceOptions inst_options = options.instance;
   inst_options.max_k = options.k;
+  inst_options.cone_of_influence = options.cone_of_influence;
   DiagnosisInstance inst = build_diagnosis_instance(nl, tests, inst_options);
   sat::Solver& solver = inst.solver;
   result.build_seconds = build_timer.seconds();
@@ -150,6 +152,7 @@ BsatResult parallel_sat_diagnose(const Netlist& nl, const TestSet& tests,
             std::min(begin + partition, universe.size());
         DiagnosisInstanceOptions inst_options = options.instance;
         inst_options.max_k = options.k;
+        inst_options.cone_of_influence = options.cone_of_influence;
         // Suffix instrumentation: gates below the partition are owned by
         // earlier workers (their selects would be forced off here anyway).
         inst_options.instrumented.assign(
@@ -291,6 +294,27 @@ BsatResult basic_sat_diagnose(const Netlist& nl, const TestSet& tests,
       for (GateId g = 0; g < nl.size(); ++g) {
         if (nl.is_combinational(g)) universe.push_back(g);
       }
+    } else {
+      std::sort(universe.begin(), universe.end());
+      universe.erase(std::unique(universe.begin(), universe.end()),
+                     universe.end());
+    }
+    if (options.cone_of_influence) {
+      // Pre-apply the instance builder's universe restriction so the
+      // partition boundaries match each shard's instrumented suffix (the
+      // partition clause indexes the shard's first end-begin selects).
+      // Must mirror the builder's root selection exactly: with
+      // constrain_passing_outputs every copy constrains all outputs.
+      std::vector<GateId> roots;
+      if (options.instance.constrain_passing_outputs) {
+        roots.assign(nl.outputs().begin(), nl.outputs().end());
+      } else {
+        for (const Test& test : tests) {
+          roots.push_back(test_output_gate(nl, test));
+        }
+      }
+      const std::vector<bool> cone = fanin_cone(nl, roots);
+      std::erase_if(universe, [&](GateId g) { return !cone[g]; });
     }
     if (universe.size() > 1) {
       return parallel_sat_diagnose(nl, tests, options, universe);

@@ -23,6 +23,14 @@ struct BsatOptions {
   DiagnosisInstanceOptions instance;
   std::int64_t max_solutions = -1;  // unlimited when negative
   Deadline deadline;
+  /// Cone-of-influence reduction of the diagnosis instance (see
+  /// DiagnosisInstanceOptions::cone_of_influence): each test copy encodes
+  /// only the fanin cone of its erroneous output and the candidate universe
+  /// is restricted to the union of those cones. The enumerated solution
+  /// sets are provably unchanged — a gate outside every cone is never
+  /// essential — so this is on by default; switch off to reproduce the
+  /// paper's unreduced instance sizes.
+  bool cone_of_influence = true;
   /// Hybrid hook (Sec. 6): per-gate weights (e.g. BSIM mark counts M(g));
   /// select variables of heavily marked gates are boosted in the decision
   /// heuristic and hinted to positive polarity. Empty = off.

@@ -3,12 +3,43 @@
 #include <algorithm>
 #include <cassert>
 
+#include "diag/xlist.hpp"
 #include "sim/simulator.hpp"
 
 namespace satdiag {
+namespace {
+
+/// Intersect every C_i with the gates whose injected X reaches test i's
+/// erroneous output, over the lane-batched injection mode (whole batches of
+/// the marked union per sweep, per 64-test chunk).
+void refine_candidate_sets(const Netlist& nl, const TestSet& tests,
+                           const BsimOptions& options, BsimResult& result) {
+  result.refined_sets.assign(tests.size(), {});
+  if (result.marked_union.empty()) return;
+  exec::ThreadPool pool(options.num_threads);
+  std::vector<std::uint32_t> index_of(nl.size(), 0);
+  for (std::size_t i = 0; i < result.marked_union.size(); ++i) {
+    index_of[result.marked_union[i]] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t base = 0; base < tests.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, tests.size() - base);
+    const TestSet chunk(tests.begin() + static_cast<std::ptrdiff_t>(base),
+                        tests.begin() +
+                            static_cast<std::ptrdiff_t>(base + count));
+    const auto masks = x_reach_masks(pool, nl, chunk, result.marked_union);
+    for (std::size_t b = 0; b < count; ++b) {
+      std::vector<GateId>& refined = result.refined_sets[base + b];
+      for (GateId g : result.candidate_sets[base + b]) {
+        if ((masks[index_of[g]] >> b) & 1ULL) refined.push_back(g);
+      }
+    }
+  }
+}
+
+}  // namespace
 
 BsimResult basic_sim_diagnose(const Netlist& nl, const TestSet& tests,
-                              const PathTraceOptions& options, Rng* rng) {
+                              const BsimOptions& options, Rng* rng) {
   assert(nl.dffs().empty() && "use the full-scan view for diagnosis");
   BsimResult result;
   result.mark_count.assign(nl.size(), 0);
@@ -23,8 +54,9 @@ BsimResult basic_sim_diagnose(const Netlist& nl, const TestSet& tests,
     sim.run();
     for (std::size_t b = 0; b < batch; ++b) {
       const Test& test = tests[base + b];
-      auto candidates = path_trace(nl, sim.values(), b,
-                                   test_output_gate(nl, test), options, rng);
+      auto candidates =
+          path_trace(nl, sim.values(), b, test_output_gate(nl, test),
+                     options.trace, rng);
       for (GateId g : candidates) ++result.mark_count[g];
       result.candidate_sets[base + b] = std::move(candidates);
     }
@@ -37,7 +69,17 @@ BsimResult basic_sim_diagnose(const Netlist& nl, const TestSet& tests,
   for (GateId g : result.marked_union) {
     if (result.mark_count[g] == result.max_marks) result.gmax.push_back(g);
   }
+  if (options.x_refine && !tests.empty()) {
+    refine_candidate_sets(nl, tests, options, result);
+  }
   return result;
+}
+
+BsimResult basic_sim_diagnose(const Netlist& nl, const TestSet& tests,
+                              const PathTraceOptions& options, Rng* rng) {
+  BsimOptions full;
+  full.trace = options;
+  return basic_sim_diagnose(nl, tests, full, rng);
 }
 
 }  // namespace satdiag

@@ -12,6 +12,20 @@
 
 namespace satdiag {
 
+struct BsimOptions {
+  PathTraceOptions trace;
+  /// X-refinement of the path-trace marks: intersect every C_i with the
+  /// gates whose injected X reaches test i's erroneous output (the X-list
+  /// forward-propagation criterion applied to the marked candidates).
+  /// Runs on the lane-batched sim3 injection mode — 64 / |tests| marked
+  /// gates per sweep — so the extra cost is a small number of dirty-cone
+  /// sweeps, not one per gate. Off by default: plain BasicSimDiagnose.
+  bool x_refine = false;
+  /// Worker lanes for the refinement sweeps (exec/ runtime); results are
+  /// bit-identical for every thread count.
+  std::size_t num_threads = 1;
+};
+
 struct BsimResult {
   /// C_i per test, sorted gate ids, sources excluded.
   std::vector<std::vector<GateId>> candidate_sets;
@@ -22,10 +36,19 @@ struct BsimResult {
   /// Gates with maximal M(g) among marked gates (Gmax in Table 3).
   std::vector<GateId> gmax;
   std::uint32_t max_marks = 0;
+  /// BsimOptions::x_refine only: refined_sets[i] = C_i ∩ {g : X injected at
+  /// g reaches test i's erroneous output}. A strict necessary condition for
+  /// single error sites, so for a single-error instance the true site stays
+  /// in every refined set it was marked in. Empty when x_refine is off.
+  std::vector<std::vector<GateId>> refined_sets;
 };
 
 /// Run BasicSimDiagnose on implementation `nl` (combinational view) with
 /// test-set `tests`. `rng` is only needed for MarkPolicy::kRandomControlling.
+BsimResult basic_sim_diagnose(const Netlist& nl, const TestSet& tests,
+                              const BsimOptions& options, Rng* rng);
+
+/// Back-compat overload: path-trace options only, no X-refinement.
 BsimResult basic_sim_diagnose(const Netlist& nl, const TestSet& tests,
                               const PathTraceOptions& options = {},
                               Rng* rng = nullptr);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
 
 #include "exec/parallel.hpp"
 #include "sim/sim3.hpp"
@@ -34,6 +35,10 @@ DiagnosisInstanceOptions effect_instance_options() {
   options.max_k = 0;  // bounds are imposed via select assumptions instead
   options.gating_clauses = true;
   options.internal_decisions = false;
+  // Sound for validity queries: a candidate gate outside every erroneous
+  // output's cone cannot affect any constrained value, so dropping its
+  // (absent) select from the assumptions never changes the answer.
+  options.cone_of_influence = true;
   return options;
 }
 }  // namespace
@@ -73,15 +78,34 @@ bool EffectAnalyzer::x_check(const std::vector<GateId>& candidate) const {
 std::vector<std::uint8_t> EffectAnalyzer::x_check_batch(
     const std::vector<std::vector<GateId>>& candidates,
     std::size_t num_threads) const {
+  std::vector<std::uint8_t> valid(candidates.size(), 1);
+  if (candidates.empty()) return valid;
   exec::ThreadPool pool(num_threads);
-  exec::LaneLocal<ThreeValuedSimulator> lane_sim(pool.num_threads());
-  std::vector<std::uint8_t> valid(candidates.size(), 0);
-  exec::parallel_for(pool, candidates.size(), [&](std::size_t i,
-                                                  std::size_t lane) {
-    ThreeValuedSimulator& sim =
-        lane_sim.get(lane, [&] { return ThreeValuedSimulator(*nl_); });
-    valid[i] = x_check_with(sim, *nl_, *tests_, candidates[i]) ? 1 : 0;
-  });
+  const std::span<const std::vector<GateId>> all(candidates);
+  // Per 64-test chunk: one primed lane-batched evaluator is cloned per
+  // worker, whole batches of 64 / |chunk| candidates are sharded over the
+  // runtime, and a candidate stays valid only while every chunk's reach
+  // mask is full. Lane groups never interact, so entry i is bit-identical
+  // to the serial x_check(candidates[i]) at any thread count.
+  for (std::size_t base = 0; base < tests_->size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, tests_->size() - base);
+    const Sim3XBatch prototype(*nl_, *tests_, base, count);
+    const std::size_t cap = prototype.capacity();
+    const std::uint64_t full = prototype.full_mask();
+    const std::size_t num_batches = (candidates.size() + cap - 1) / cap;
+    exec::LaneLocal<Sim3XBatch> lane_batch(pool.num_threads());
+    exec::parallel_for(pool, num_batches, [&](std::size_t batch,
+                                              std::size_t lane) {
+      Sim3XBatch& xb = lane_batch.get(lane, [&] { return prototype; });
+      const std::size_t begin = batch * cap;
+      const std::size_t end = std::min(begin + cap, candidates.size());
+      std::uint64_t masks[64];
+      xb.run_tuples(all.subspan(begin, end - begin), masks);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (masks[i - begin] != full) valid[i] = 0;
+      }
+    });
+  }
   return valid;
 }
 

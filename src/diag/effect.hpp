@@ -35,9 +35,10 @@ class EffectAnalyzer {
   /// candidate-parallel work).
   bool x_check(const std::vector<GateId>& candidate) const;
 
-  /// Candidate-parallel x_check over the exec/ runtime: the candidates are
-  /// sharded across `num_threads` lanes, each lane owning its own
-  /// ThreeValuedSimulator. Entry i answers x_check(candidates[i]);
+  /// Lane-batched, candidate-parallel x_check over the exec/ runtime:
+  /// 64 / |tests| candidates are evaluated per sim3 sweep (one candidate
+  /// per lane group, Sim3XBatch), whole batches are sharded across
+  /// `num_threads` workers. Entry i answers x_check(candidates[i]);
   /// bit-identical to the serial calls for every thread count.
   std::vector<std::uint8_t> x_check_batch(
       const std::vector<std::vector<GateId>>& candidates,

@@ -9,44 +9,48 @@
 #include "sim/sim3.hpp"
 
 namespace satdiag {
+
+std::vector<std::uint64_t> x_reach_masks(exec::ThreadPool& pool,
+                                         const Netlist& nl,
+                                         const TestSet& tests,
+                                         std::span<const GateId> candidates,
+                                         const Deadline& deadline) {
+  assert(!tests.empty() && tests.size() <= 64);
+  std::vector<std::uint64_t> masks(candidates.size(), 0);
+  if (candidates.empty()) return masks;
+  // The prototype pays the one full priming sweep (replicated test chunk,
+  // no X); worker clones start from its warm value planes, so every batch
+  // costs only the merged injection cones of 64 / |tests| candidates.
+  const Sim3XBatch prototype(nl, tests);
+  const std::size_t cap = prototype.capacity();
+  const std::size_t num_batches = (candidates.size() + cap - 1) / cap;
+  exec::LaneLocal<Sim3XBatch> lane_batch(pool.num_threads());
+  exec::parallel_for(pool, num_batches, [&](std::size_t batch,
+                                            std::size_t lane) {
+    if (deadline.expired()) return;
+    Sim3XBatch& xb = lane_batch.get(lane, [&] { return prototype; });
+    const std::size_t begin = batch * cap;
+    const std::size_t end = std::min(begin + cap, candidates.size());
+    xb.run_singles(candidates.subspan(begin, end - begin), &masks[begin]);
+  });
+  return masks;
+}
+
 namespace {
 
 /// For every combinational gate, a bitmask (over tests, up to 64) telling
-/// which tests' erroneous outputs turn X when X is injected at that gate.
-/// Candidate-parallel: one primed prototype simulator is cloned per worker
-/// lane, each candidate's mask lands in its own slot — bit-identical for
-/// every thread count.
+/// which tests' erroneous outputs turn X when X is injected at that gate —
+/// x_reach_masks scattered into a gate-indexed table.
 std::vector<std::uint64_t> reach_masks(exec::ThreadPool& pool,
                                        const Netlist& nl, const TestSet& tests,
                                        const std::vector<GateId>& candidates,
                                        const Deadline& deadline) {
-  assert(tests.size() <= 64);
   std::vector<std::uint64_t> mask(nl.size(), 0);
-  // Prime the X-free evaluation once; worker clones start from the primed
-  // value planes, so each candidate pays only for the cones of its own
-  // injection and the lane's previous candidate's revert.
-  ThreeValuedSimulator prototype(nl);
-  for (std::size_t b = 0; b < tests.size(); ++b) {
-    prototype.set_input_vector(b, tests[b].input_values);
+  const auto per_candidate =
+      x_reach_masks(pool, nl, tests, candidates, deadline);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    mask[candidates[i]] = per_candidate[i];
   }
-  prototype.run();
-  exec::LaneLocal<ThreeValuedSimulator> lane_sim(pool.num_threads());
-  exec::parallel_for(pool, candidates.size(), [&](std::size_t i,
-                                                  std::size_t lane) {
-    if (deadline.expired()) return;
-    ThreeValuedSimulator& sim = lane_sim.get(lane, [&] { return prototype; });
-    const GateId g = candidates[i];
-    sim.clear_overrides();
-    sim.inject_x(g);
-    sim.run();
-    std::uint64_t m = 0;
-    for (std::size_t b = 0; b < tests.size(); ++b) {
-      if (sim.value(test_output_gate(nl, tests[b])).is_x(b)) {
-        m |= 1ULL << b;
-      }
-    }
-    mask[g] = m;
-  });
   return mask;
 }
 
@@ -68,28 +72,46 @@ std::vector<GateId> candidate_pool(const Netlist& nl, const TestSet& tests,
   return pool;
 }
 
-/// Joint X injection of `tuple` floods every test's erroneous output.
-/// The caller passes one long-lived simulator across tuples: inputs stay in
-/// place, so each verification costs only the tuple's injection cones.
-/// Tests beyond the first 64 run in additional pattern batches.
-bool joint_x_covers_all(ThreeValuedSimulator& sim, const TestSet& tests,
-                        const std::vector<GateId>& tuple) {
-  const Netlist& nl = sim.netlist();
+/// Select the first `max_tuples` tuples (in `tuples` order) whose joint X
+/// injection floods every test's erroneous output — the scalar per-tuple
+/// criterion, evaluated lane-batched: one Sim3XBatch per 64-test chunk
+/// (built once, the replicated inputs persist across batches), tuples
+/// verified in capacity-sized batches, stopping as soon as enough have
+/// passed or the deadline expires (unverified tuples are never returned,
+/// exactly like the scalar loop's early exit).
+std::vector<std::vector<GateId>> verify_joint_covers(
+    const Netlist& nl, const TestSet& tests,
+    std::span<const std::vector<GateId>> tuples, std::size_t max_tuples,
+    const Deadline& deadline) {
+  std::vector<std::vector<GateId>> kept;
+  if (tuples.empty() || max_tuples == 0) return kept;
+  std::vector<Sim3XBatch> chunks;
+  std::size_t cap = 64;
   for (std::size_t base = 0; base < tests.size(); base += 64) {
-    const std::size_t batch = std::min<std::size_t>(64, tests.size() - base);
-    for (std::size_t b = 0; b < batch; ++b) {
-      sim.set_input_vector(b, tests[base + b].input_values);
-    }
-    sim.clear_overrides();
-    for (GateId g : tuple) sim.inject_x(g);
-    sim.run();
-    for (std::size_t b = 0; b < batch; ++b) {
-      if (!sim.value(test_output_gate(nl, tests[base + b])).is_x(b)) {
-        return false;
+    const std::size_t count = std::min<std::size_t>(64, tests.size() - base);
+    if (deadline.expired()) return kept;  // priming sweeps are not free
+    chunks.emplace_back(nl, tests, base, count);
+    cap = std::min(cap, chunks.back().capacity());
+  }
+  std::uint64_t masks[64];
+  for (std::size_t begin = 0;
+       begin < tuples.size() && kept.size() < max_tuples; begin += cap) {
+    if (deadline.expired()) break;
+    const std::size_t n = std::min(cap, tuples.size() - begin);
+    std::uint8_t ok[64];
+    std::fill(ok, ok + n, 1);
+    for (Sim3XBatch& chunk : chunks) {
+      const std::uint64_t full = chunk.full_mask();
+      chunk.run_tuples(tuples.subspan(begin, n), masks);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (masks[i] != full) ok[i] = 0;
       }
     }
+    for (std::size_t i = 0; i < n && kept.size() < max_tuples; ++i) {
+      if (ok[i]) kept.push_back(tuples[begin + i]);
+    }
   }
-  return true;
+  return kept;
 }
 
 }  // namespace
@@ -107,6 +129,23 @@ std::vector<GateId> xlist_single_candidates(const Netlist& nl,
   // if it covers every batch completely.
   std::vector<bool> alive(nl.size(), false);
   for (GateId g : pool) alive[g] = true;
+  // Exact structural pre-filter: a surviving candidate's X must reach every
+  // test's erroneous output, so it must lie in the *intersection* of their
+  // fanin cones — anything outside provably fails the criterion, so the
+  // result set is unchanged (pinned against the unrestricted reference in
+  // tests/sim/sim3_diff_test.cpp and the diff harness).
+  {
+    std::vector<GateId> outs;
+    for (const Test& t : tests) outs.push_back(test_output_gate(nl, t));
+    std::sort(outs.begin(), outs.end());
+    outs.erase(std::unique(outs.begin(), outs.end()), outs.end());
+    for (const GateId out : outs) {
+      const std::vector<bool> cone = fanin_cone(nl, {out});
+      for (GateId g : pool) {
+        if (!cone[g]) alive[g] = false;
+      }
+    }
+  }
   for (std::size_t base = 0; base < tests.size(); base += 64) {
     const std::size_t batch_size = std::min<std::size_t>(64, tests.size() - base);
     const TestSet batch(tests.begin() + static_cast<std::ptrdiff_t>(base),
@@ -162,11 +201,8 @@ std::vector<std::vector<GateId>> xlist_tuple_candidates(
   cov.deadline = options.deadline;
   cov.max_solutions = static_cast<std::int64_t>(max_tuples) * 4;
   const CovResult covers = solve_covering_sat(per_test, cov);
-  ThreeValuedSimulator sim(nl);
-  for (const auto& tuple : covers.solutions) {
-    if (result.size() >= max_tuples || options.deadline.expired()) break;
-    if (joint_x_covers_all(sim, tests, tuple)) result.push_back(tuple);
-  }
+  result = verify_joint_covers(nl, tests, covers.solutions, max_tuples,
+                               options.deadline);
   return result;
 }
 

@@ -10,6 +10,9 @@
 // the same forward-X criterion on the joint injection.
 #pragma once
 
+#include <span>
+
+#include "exec/thread_pool.hpp"
 #include "netlist/testset.hpp"
 #include "util/timer.hpp"
 
@@ -20,12 +23,25 @@ struct XListOptions {
   /// (an X injected elsewhere can never reach them).
   bool restrict_to_fanin_cones = true;
   Deadline deadline;
-  /// Candidate-parallel lanes (exec/ runtime): the per-candidate X-injection
-  /// sweeps are sharded over per-thread ThreeValuedSimulators cloned from
+  /// Candidate-parallel lanes (exec/ runtime): whole 64-candidate injection
+  /// batches are sharded over per-thread Sim3XBatch evaluators cloned from
   /// one primed prototype. Results are bit-identical for every thread count
   /// (per-candidate masks land in per-candidate slots).
   std::size_t num_threads = 1;
 };
+
+/// Batched X-reach masks: bit b of result[i] is set iff injecting X at
+/// candidates[i] drives test b's erroneous output to X (tests.size() must be
+/// in [1, 64]). The inner loop is the lane-batched injection mode of the
+/// unified sim3 kernel — 64 / |tests| candidates per sweep — sharded over
+/// the exec/ runtime in whole batches; results are bit-identical for every
+/// thread count. Shared by the X-list engines, the BSIM X-refinement, and
+/// the differential test harness.
+std::vector<std::uint64_t> x_reach_masks(exec::ThreadPool& pool,
+                                         const Netlist& nl,
+                                         const TestSet& tests,
+                                         std::span<const GateId> candidates,
+                                         const Deadline& deadline = {});
 
 /// Gates g such that injecting X at g makes every test's erroneous output X.
 std::vector<GateId> xlist_single_candidates(const Netlist& nl,

@@ -14,6 +14,7 @@
 // (set_op) never interfere across simulators.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -73,6 +74,53 @@ class CompiledNetlist {
   std::vector<SimInstr> instrs_;
   std::vector<GateId> fanin_csr_;
   std::vector<GateId> comb_topo_;
+};
+
+/// Lane-group packing plan for candidate-batched evaluation.
+///
+/// The 64 pattern lanes of one simulation word are divided into `groups`
+/// contiguous groups of `group_size` lanes each. Every group carries the
+/// same replicated stimulus (one test pattern per lane inside the group)
+/// while per-group overrides — e.g. the X-injection masks of the 3-valued
+/// backend — distinguish the candidates. Bitwise gate evaluation and
+/// per-lane masks never mix lanes, so each group behaves exactly like an
+/// independent simulator word: group i evaluating candidate i is
+/// bit-identical to a scalar simulator evaluating candidate i alone.
+/// Backend-agnostic: any 64-lane word backend can pack with the same plan.
+struct LanePlan {
+  std::size_t group_size = 64;  // stimulus slots per group
+  std::size_t groups = 1;       // candidates per sweep = 64 / group_size
+
+  /// Plan for `patterns` stimulus slots per group (1..64): group_size ==
+  /// patterns, groups == 64 / patterns; any remaining lanes idle.
+  static LanePlan for_patterns(std::size_t patterns) {
+    assert(patterns >= 1 && patterns <= 64);
+    LanePlan plan;
+    plan.group_size = patterns;
+    plan.groups = 64 / patterns;
+    return plan;
+  }
+
+  /// Word lane of stimulus slot `pattern` inside `group`.
+  std::size_t lane(std::size_t group, std::size_t pattern) const {
+    return group * group_size + pattern;
+  }
+
+  /// All lanes of one group.
+  std::uint64_t group_mask(std::size_t group) const {
+    const std::uint64_t ones =
+        group_size >= 64 ? ~0ULL : (1ULL << group_size) - 1;
+    return ones << (group * group_size);
+  }
+
+  /// Replicate a group-local pattern mask into every group of the plan.
+  std::uint64_t spread(std::uint64_t pattern_mask) const {
+    std::uint64_t out = 0;
+    for (std::size_t g = 0; g < groups; ++g) {
+      out |= pattern_mask << (g * group_size);
+    }
+    return out;
+  }
 };
 
 /// Level-bucketed dirty-cone worklist shared by the incremental backends.

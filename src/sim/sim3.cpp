@@ -169,13 +169,18 @@ void ThreeValuedSimulator::set_source(GateId g, Val3 v) {
 void ThreeValuedSimulator::set_input_vector(std::size_t bit,
                                             const std::vector<bool>& bits) {
   assert(bit < 64);
+  set_input_lanes(1ULL << bit, bits);
+}
+
+void ThreeValuedSimulator::set_input_lanes(std::uint64_t lanes,
+                                           const std::vector<bool>& bits) {
   assert(bits.size() == nl_->inputs().size());
-  const std::uint64_t mask = 1ULL << bit;
+  if (lanes == 0) return;
   for (std::size_t i = 0; i < bits.size(); ++i) {
     const GateId g = nl_->inputs()[i];
     Planes p{val_[g], known_[g]};
-    p.val = bits[i] ? (p.val | mask) : (p.val & ~mask);
-    p.known |= mask;
+    p.val = bits[i] ? (p.val | lanes) : (p.val & ~lanes);
+    p.known |= lanes;
     if (x_mask_[g]) apply_mask(g, p);
     if (p != Planes{val_[g], known_[g]}) {
       store(g, p);
@@ -257,6 +262,61 @@ void ThreeValuedSimulator::run_full() {
   // A full sweep satisfies every pending dirty mark.
   worklist_.reset();
   all_dirty_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Lane-batched candidate X-injection
+
+Sim3XBatch::Sim3XBatch(const Netlist& nl, const TestSet& tests,
+                       std::size_t begin, std::size_t count)
+    : plan_(LanePlan::for_patterns(count)), sim_(nl) {
+  assert(count >= 1 && count <= 64);
+  assert(begin + count <= tests.size());
+  out_gates_.reserve(count);
+  for (std::size_t b = 0; b < count; ++b) {
+    const Test& test = tests[begin + b];
+    out_gates_.push_back(test_output_gate(nl, test));
+    sim_.set_input_lanes(plan_.spread(1ULL << b), test.input_values);
+  }
+  sim_.run();  // prime the X-free planes; clones inherit them warm
+}
+
+void Sim3XBatch::run_singles(std::span<const GateId> batch,
+                             std::uint64_t* masks) {
+  if (batch.empty()) return;
+  assert(batch.size() <= capacity());
+  sim_.clear_overrides();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    assert(sim_.netlist().is_combinational(batch[i]));
+    sim_.inject_x(batch[i], plan_.group_mask(i));
+  }
+  sim_.run();
+  extract(batch.size(), masks);
+}
+
+void Sim3XBatch::run_tuples(std::span<const std::vector<GateId>> batch,
+                            std::uint64_t* masks) {
+  if (batch.empty()) return;
+  assert(batch.size() <= capacity());
+  sim_.clear_overrides();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (const GateId g : batch[i]) {
+      assert(sim_.netlist().is_combinational(g));
+      sim_.inject_x(g, plan_.group_mask(i));
+    }
+  }
+  sim_.run();
+  extract(batch.size(), masks);
+}
+
+void Sim3XBatch::extract(std::size_t count, std::uint64_t* masks) {
+  for (std::size_t i = 0; i < count; ++i) masks[i] = 0;
+  for (std::size_t b = 0; b < out_gates_.size(); ++b) {
+    const std::uint64_t x = sim_.value(out_gates_[b]).x_mask();
+    for (std::size_t i = 0; i < count; ++i) {
+      masks[i] |= ((x >> plan_.lane(i, b)) & 1ULL) << b;
+    }
+  }
 }
 
 }  // namespace satdiag

@@ -28,9 +28,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "netlist/testset.hpp"
 #include "sim/compiled.hpp"
 
 namespace satdiag {
@@ -65,6 +67,12 @@ class ThreeValuedSimulator {
   void set_source(GateId g, Val3 v);
   /// Pattern slot `bit` of every primary input.
   void set_input_vector(std::size_t bit, const std::vector<bool>& bits);
+  /// Broadcast one input vector into every pattern lane of `lanes`: bits[i]
+  /// becomes the value of input i in all those lanes (known everywhere in
+  /// the mask). set_input_vector is the lanes == 1<<bit special case; the
+  /// lane-batched evaluator uses this to replicate a test chunk into every
+  /// candidate group in one pass.
+  void set_input_lanes(std::uint64_t lanes, const std::vector<bool>& bits);
 
   /// Force a gate to X (in all pattern slots of `mask`); the override
   /// survives until clear_overrides().
@@ -122,6 +130,71 @@ class ThreeValuedSimulator {
   bool all_dirty_ = true;  // first run() is a full stream sweep
 
   mutable std::vector<Val3> fanin_buf_;  // run_full() scratch
+};
+
+/// Lane-batched candidate X-injection over the compiled 3-valued kernel —
+/// the batched injection mode of the diagnosis engines.
+///
+/// One Sim3XBatch owns a ThreeValuedSimulator whose 64 pattern lanes are
+/// packed by a LanePlan (sim/compiled.hpp): a chunk of up to 64 tests is
+/// replicated into every lane group once at construction, and each
+/// run_singles/run_tuples call then gives every candidate of the batch its
+/// own group — the candidate's gates are forced to X only in that group's
+/// lanes, and all candidates of the batch share ONE dirty-cone sweep (the
+/// per-lane X masks are applied inside the opcode interpreter, and the
+/// per-candidate dirty cones merge in the shared LevelWorklist). Because
+/// bitwise evaluation and the masks never mix lanes, group i is
+/// bit-identical to a scalar simulator evaluating candidate i alone — the
+/// property pinned by tests/common/diff_harness.
+///
+/// Switching batches only moves X masks: the replicated inputs stay in
+/// place, so every batch after the constructor's priming sweep costs the
+/// merged fanout cones of the previous and current injection sites — not
+/// |tests| input re-broadcasts, and not one sweep per candidate.
+///
+/// Copyable; copy-as-clone is the worker-state pattern of the exec/
+/// runtime (a primed prototype is cloned into each worker lane, so clones
+/// start from warm X-free value planes). Candidates must be combinational
+/// gates (X at a source sticks across clear_overrides, which would poison
+/// the next batch).
+class Sim3XBatch {
+ public:
+  /// Packs tests[begin, begin + count); count must be in [1, 64]. The
+  /// constructor replicates the chunk into every lane group and pays one
+  /// full priming sweep.
+  Sim3XBatch(const Netlist& nl, const TestSet& tests, std::size_t begin,
+             std::size_t count);
+  /// Whole test set (tests.size() in [1, 64]).
+  Sim3XBatch(const Netlist& nl, const TestSet& tests)
+      : Sim3XBatch(nl, tests, 0, tests.size()) {}
+
+  /// Candidates evaluated per sweep: 64 / chunk size.
+  std::size_t capacity() const { return plan_.groups; }
+  std::size_t num_tests() const { return out_gates_.size(); }
+  /// Mask with one bit per test of the chunk.
+  std::uint64_t full_mask() const {
+    return num_tests() >= 64 ? ~0ULL : (1ULL << num_tests()) - 1;
+  }
+
+  /// One sweep over a batch of single-gate candidates (batch.size() <=
+  /// capacity()). masks[i] bit b is set iff test b's erroneous output
+  /// evaluates to X in candidate i's lane group, i.e. masks[i] is exactly
+  /// the scalar per-candidate reach mask. An empty batch is a no-op: the
+  /// simulator is not touched and no masks are written. A partial batch
+  /// leaves the remaining groups X-free (previous injections are cleared
+  /// first), so no stale lanes leak into the extracted masks.
+  void run_singles(std::span<const GateId> batch, std::uint64_t* masks);
+  /// Same over gate-set candidates: group i carries the joint injection of
+  /// every gate in batch[i].
+  void run_tuples(std::span<const std::vector<GateId>> batch,
+                  std::uint64_t* masks);
+
+ private:
+  void extract(std::size_t count, std::uint64_t* masks);
+
+  LanePlan plan_;
+  std::vector<GateId> out_gates_;  // erroneous output gate per chunk test
+  ThreeValuedSimulator sim_;
 };
 
 }  // namespace satdiag

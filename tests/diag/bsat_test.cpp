@@ -227,11 +227,23 @@ TEST(BsatTest, InstanceSizeReported) {
   const Scenario s = make_scenario(12, 1, 4);
   BsatOptions options;
   options.k = 1;
-  const BsatResult result = basic_sat_diagnose(s.faulty, s.tests, options);
   // Theta(|I| * m) variables (paper Table 1): at least one var per gate per
-  // test copy.
-  EXPECT_GE(result.num_vars, s.faulty.size() * s.tests.size());
-  EXPECT_GT(result.num_clauses, 0u);
+  // test copy — on the unreduced instance the paper describes.
+  options.cone_of_influence = false;
+  const BsatResult unreduced = basic_sat_diagnose(s.faulty, s.tests, options);
+  EXPECT_GE(unreduced.num_vars, s.faulty.size() * s.tests.size());
+  EXPECT_GT(unreduced.num_clauses, 0u);
+
+  // The default cone-of-influence instance never exceeds the unreduced one
+  // and still reports a non-trivial size.
+  options.cone_of_influence = true;
+  const BsatResult reduced = basic_sat_diagnose(s.faulty, s.tests, options);
+  EXPECT_LE(reduced.num_vars, unreduced.num_vars);
+  EXPECT_LE(reduced.num_clauses, unreduced.num_clauses);
+  EXPECT_GT(reduced.num_vars, 0u);
+  // Same enumerated corrections either way (gates outside every cone are
+  // never essential).
+  EXPECT_EQ(reduced.solutions, unreduced.solutions);
 }
 
 }  // namespace

@@ -83,6 +83,13 @@ BENCHES = {
          "--tests", "16", "--seed", "1", "--rounds", "1", "--threads", "8",
          "--json"],
     ),
+    # Simulation-bound: lane-batched vs scalar X-injection head to head on
+    # the same candidate pool (the driver cross-checks mask equality).
+    "xbatch": (
+        "bench_xbatch",
+        ["--circuit", "s38417_like", "--scale", "1.0", "--errors", "2",
+         "--tests", "16", "--seed", "1", "--rounds", "1", "--json"],
+    ),
     # Seed-portfolio SAT racing (bench_parallel multi-workload driver).
     "portfolio": (
         "bench_parallel",
