@@ -9,9 +9,18 @@
 //   +nodecide — additionally restrict decisions to selects/corrections
 //   two-pass  — region-head first pass + refined second pass
 //
+// Two solver-core ablation knobs ride along:
+//   --no-inprocess   disable the inprocessing pipeline in every variant
+//                    (probing / vivification / subsumption / BVE),
+//   --card ENC       cardinality encoding: sequential | totalizer | pairwise
+//                    (pairwise substitutes the sequential tracker, see
+//                    cnf/cardinality.hpp).
+//
 // Run:  ./bench_ablation_advanced_sat [--circuit s1423_like] [--scale 0.5]
 //       [--tests 8] [--errors 1] [--seed 3] [--limit 120]
+//       [--no-inprocess] [--card sequential]
 #include <cstdio>
+#include <string>
 
 #include "diag/advanced_sat.hpp"
 #include "report/experiment.hpp"
@@ -33,6 +42,17 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
   const double limit = args.get_double("limit", 120.0);
   config.time_limit_seconds = limit;
+  const bool inprocess = !args.get_bool("no-inprocess", false);
+  const std::string card_name = args.get_string("card", "sequential");
+  CardEncoding card = CardEncoding::kSequential;
+  if (card_name == "totalizer") {
+    card = CardEncoding::kTotalizer;
+  } else if (card_name == "pairwise") {
+    card = CardEncoding::kPairwise;
+  } else if (card_name != "sequential") {
+    std::fprintf(stderr, "unknown --card '%s'\n", card_name.c_str());
+    return 1;
+  }
 
   const auto prepared = prepare_experiment(config);
   if (!prepared) {
@@ -40,9 +60,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   const unsigned k = static_cast<unsigned>(config.num_errors);
-  std::printf("# advanced-SAT ablation on %s (%zu gates), p=%zu, m=%zu\n",
-              config.circuit.c_str(), prepared->faulty.size(),
-              config.num_errors, prepared->tests.size());
+  std::printf(
+      "# advanced-SAT ablation on %s (%zu gates), p=%zu, m=%zu,"
+      " inprocess=%s, card=%s\n",
+      config.circuit.c_str(), prepared->faulty.size(), config.num_errors,
+      prepared->tests.size(), inprocess ? "on" : "off",
+      card_encoding_name(card));
 
   TablePrinter table({"variant", "CNF s", "first s", "all s", "#sol",
                       "decisions", "complete"});
@@ -52,6 +75,8 @@ int main(int argc, char** argv) {
     options.deadline = Deadline::after_seconds(limit);
     options.instance.gating_clauses = gating;
     options.instance.internal_decisions = decisions;
+    options.instance.inprocess = inprocess;
+    options.instance.card_encoding = card;
     const BsatResult r =
         basic_sat_diagnose(prepared->faulty, prepared->tests, options);
     table.add_row({name, strprintf("%.3f", r.build_seconds),
@@ -70,6 +95,7 @@ int main(int argc, char** argv) {
   {
     AdvancedSatOptions options;
     options.k = k;
+    options.card_encoding = card;
     options.deadline = Deadline::after_seconds(limit);
     Timer t;
     const AdvancedSatResult adv =

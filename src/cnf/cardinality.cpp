@@ -1,5 +1,6 @@
 #include "cnf/cardinality.hpp"
 
+#include <atomic>
 #include <cassert>
 #include <functional>
 
@@ -145,17 +146,33 @@ CardinalityTracker encode_cardinality_tracker(Solver& solver,
                                               std::vector<Lit> lits,
                                               unsigned max_bound,
                                               CardEncoding encoding) {
+  CardinalityTracker tracker;
   switch (encoding) {
     case CardEncoding::kSequential:
-      return encode_sequential(solver, std::move(lits), max_bound);
+      tracker = encode_sequential(solver, std::move(lits), max_bound);
+      break;
     case CardEncoding::kTotalizer:
-      return encode_totalizer(solver, std::move(lits), max_bound);
-    case CardEncoding::kPairwise:
-      // No incremental form; use the sequential counter silently (callers
-      // exercising pairwise use encode_at_most_static).
-      return encode_sequential(solver, std::move(lits), max_bound);
+      tracker = encode_totalizer(solver, std::move(lits), max_bound);
+      break;
+    case CardEncoding::kPairwise: {
+      // The pairwise encoding has no incremental form (no counter outputs to
+      // assume against), so the tracker substitutes the sequential counter;
+      // see cardinality.hpp. Static-bound callers that really want pairwise
+      // clauses go through encode_at_most_static.
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        SATDIAG_WARN() << "pairwise cardinality encoding has no incremental "
+                          "tracker form; substituting the sequential counter "
+                          "(bound semantics are unchanged)";
+      }
+      tracker = encode_sequential(solver, std::move(lits), max_bound);
+      break;
+    }
   }
-  return {};
+  // Freeze the counter outputs: assume_at_most mentions them in future
+  // assumptions, which variable elimination must never invalidate.
+  for (Lit g : tracker.geq) solver.freeze(g.var());
+  return tracker;
 }
 
 bool encode_at_most_static(sat::Solver& solver,

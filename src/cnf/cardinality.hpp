@@ -40,8 +40,15 @@ struct CardinalityTracker {
   std::vector<sat::Lit> assume_at_most(unsigned bound) const;
 };
 
-/// Build a counter usable for bounds 0..max_bound. Encoding must be
-/// kSequential or kTotalizer (pairwise has no incremental form).
+/// Build a counter usable for bounds 0..max_bound. The counter output
+/// variables (geq) are frozen against variable elimination — they appear in
+/// future assumptions via assume_at_most.
+///
+/// kPairwise has no incremental form (no counter outputs to assume against):
+/// requesting it substitutes the sequential counter, with a one-time warning.
+/// The enforced bound semantics are identical; only the clause shape
+/// differs. Callers that need actual pairwise clauses (the ablation
+/// baseline) must use encode_at_most_static.
 CardinalityTracker encode_cardinality_tracker(sat::Solver& solver,
                                               std::vector<sat::Lit> lits,
                                               unsigned max_bound,

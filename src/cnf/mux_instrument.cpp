@@ -29,6 +29,11 @@ DiagnosisInstance build_diagnosis_instance(
   assert(!tests.empty());
   DiagnosisInstance inst;
   Solver& solver = inst.solver;
+  if (!options.inprocess) {
+    sat::InprocessConfig cfg = solver.inprocess_config();
+    cfg.enabled = false;
+    solver.set_inprocess(cfg);
+  }
 
   // Instrumented gate set.
   if (options.instrumented.empty()) {
@@ -76,10 +81,13 @@ DiagnosisInstance build_diagnosis_instance(
     return cones.size() == 1 ? cones[0][g] : cones[t][g];
   };
 
-  // Shared select lines (free/decision variables).
+  // Shared select lines (free/decision variables). Frozen: the diagnosis
+  // layers mention them in assumptions, blocking clauses, and partition
+  // clauses long after inprocessing has started.
   inst.select_index.assign(nl.size(), DiagnosisInstance::kNoSelect);
   for (std::size_t i = 0; i < inst.instrumented.size(); ++i) {
     inst.select_var.push_back(solver.new_var(/*decidable=*/true));
+    solver.freeze(inst.select_var.back());
     inst.select_index[inst.instrumented[i]] =
         static_cast<std::uint32_t>(i);
   }
@@ -104,8 +112,10 @@ DiagnosisInstance build_diagnosis_instance(
       const std::uint32_t sel = inst.select_index[g];
       Lit function_out = enc.lit(g);
       if (sel != DiagnosisInstance::kNoSelect) {
-        // Correction value c_g^t: a genuinely free variable.
+        // Correction value c_g^t: a genuinely free variable. Frozen: the
+        // effect/repair layers assume it and read its model value.
         const Var c = solver.new_var(/*decidable=*/true);
+        solver.freeze(c);
         corrections[sel] = c;
         const Lit s = sat::pos(inst.select_var[sel]);
         const Lit out = enc.lit(g);

@@ -54,6 +54,10 @@ struct DiagnosisInstanceOptions {
   /// Golden output values per test (over netlist.outputs()), used only with
   /// constrain_passing_outputs.
   std::vector<std::vector<bool>> expected_outputs;
+  /// Inprocessing (probing / vivification / subsumption / bounded variable
+  /// elimination between restarts) in the instance solver. Ablation knob;
+  /// solution sets are inprocessing-invariant.
+  bool inprocess = true;
 };
 
 struct DiagnosisInstance {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 #include <memory>
+#include <set>
 
 #include "exec/parallel.hpp"
 #include "netlist/analysis.hpp"
@@ -115,16 +116,26 @@ BsatResult serial_sat_diagnose(const Netlist& nl, const TestSet& tests,
   return result;
 }
 
-/// One worker of the candidate-parallel enumeration: its own diagnosis
-/// instance over the suffix of the instrumented universe starting at its
-/// partition, constrained to corrections whose minimum gate falls inside the
-/// partition. The partitions are disjoint and exhaustive over the solution
-/// space, so the merged per-bound sets equal the serial enumeration's.
+/// One worker of the candidate-parallel enumeration. Every shard builds an
+/// IDENTICAL full-universe instance and restricts itself to corrections
+/// whose minimum gate falls in its partition by assuming a per-partition
+/// activation variable (the partition clauses of *all* partitions are
+/// present in *every* shard, guarded by their act vars). Identical clause
+/// databases are what makes cross-shard learnt sharing sound: after the
+/// symmetric cross-blocking at a bound barrier, every shard's irredundant
+/// set implies every other's, so any learnt is implied everywhere. The
+/// partitions stay disjoint and exhaustive over the solution space, so the
+/// merged per-bound sets equal the serial enumeration's.
 struct BsatShard {
   std::unique_ptr<DiagnosisInstance> inst;
+  sat::Lit activate = sat::Lit::undef();  // this shard's partition act var
   std::vector<std::vector<GateId>> bound_solutions;
   bool exhausted = false;  // instance became UNSAT at the root
 };
+
+// Per-barrier learnt exchange limits: glue cap and batch size per shard.
+constexpr unsigned kShardShareMaxLbd = 4;
+constexpr std::size_t kShardShareMaxClauses = 4096;
 
 BsatResult parallel_sat_diagnose(const Netlist& nl, const TestSet& tests,
                                  const BsatOptions& options,
@@ -147,29 +158,39 @@ BsatResult parallel_sat_diagnose(const Netlist& nl, const TestSet& tests,
   exec::parallel_for(
       pool, num_shards,
       [&](std::size_t s, std::size_t) {
-        const std::size_t begin = s * partition;
-        const std::size_t end =
-            std::min(begin + partition, universe.size());
         DiagnosisInstanceOptions inst_options = options.instance;
         inst_options.max_k = options.k;
         inst_options.cone_of_influence = options.cone_of_influence;
-        // Suffix instrumentation: gates below the partition are owned by
-        // earlier workers (their selects would be forced off here anyway).
-        inst_options.instrumented.assign(
-            universe.begin() + static_cast<std::ptrdiff_t>(begin),
-            universe.end());
+        // Identical instance in every shard: same universe, same variable
+        // numbering (required for sharing blocking clauses and learnts).
+        inst_options.instrumented = universe;
         shards[s].inst = std::make_unique<DiagnosisInstance>(
             build_diagnosis_instance(nl, tests, inst_options));
         DiagnosisInstance& inst = *shards[s].inst;
-        // Minimum selected gate lies in this partition: at least one of its
-        // selects (the first end-begin instrumented gates) is on.
-        sat::Clause any_in_partition;
-        for (std::size_t i = 0; i < end - begin; ++i) {
-          any_in_partition.push_back(sat::pos(inst.select_var[i]));
+        // Partition restriction, act-var guarded so every shard carries all
+        // partitions' clauses: act_p -> (no select before partition p) and
+        // act_p -> (some select inside partition p). Shard s assumes act_s.
+        // Frozen non-decision vars: they appear in future assumptions.
+        for (std::size_t p = 0; p < num_shards; ++p) {
+          const sat::Var act =
+              inst.solver.new_var(/*decidable=*/false);
+          inst.solver.freeze(act);
+          if (p == s) shards[s].activate = sat::pos(act);
+          const std::size_t begin = p * partition;
+          const std::size_t end =
+              std::min(begin + partition, universe.size());
+          for (std::size_t i = 0; i < begin; ++i) {
+            inst.solver.add_clause(sat::neg(act),
+                                   sat::neg(inst.select_var[i]));
+          }
+          sat::Clause any_in_partition;
+          any_in_partition.push_back(sat::neg(act));
+          for (std::size_t i = begin; i < end; ++i) {
+            any_in_partition.push_back(sat::pos(inst.select_var[i]));
+          }
+          inst.solver.add_clause(std::move(any_in_partition));
         }
-        if (!inst.solver.add_clause(std::move(any_in_partition))) {
-          shards[s].exhausted = true;
-        }
+        if (!inst.solver.ok()) shards[s].exhausted = true;
         if (!options.select_activity_seed.empty()) {
           seed_select_activity(inst.solver, inst,
                                options.select_activity_seed, nl.size());
@@ -177,8 +198,8 @@ BsatResult parallel_sat_diagnose(const Netlist& nl, const TestSet& tests,
       },
       /*grain=*/1);
   result.build_seconds = build_timer.seconds();
-  // Instance size is reported for the largest worker instance (worker 0
-  // instruments the full universe, like the serial solver).
+  // All worker instances are identical; report the first (it differs from
+  // the serial instance only by the activation vars/clauses).
   result.num_vars =
       static_cast<std::size_t>(shards[0].inst->solver.num_vars());
   result.num_clauses = shards[0].inst->solver.num_clauses();
@@ -195,7 +216,8 @@ BsatResult parallel_sat_diagnose(const Netlist& nl, const TestSet& tests,
           shard.bound_solutions.clear();
           if (shard.exhausted) return;
           DiagnosisInstance& inst = *shard.inst;
-          const auto assumptions = inst.assume_at_most(bound);
+          auto assumptions = inst.assume_at_most(bound);
+          assumptions.push_back(shard.activate);
           for (;;) {
             if (options.deadline.expired() ||
                 (options.max_solutions >= 0 &&
@@ -230,13 +252,15 @@ BsatResult parallel_sat_diagnose(const Netlist& nl, const TestSet& tests,
         /*grain=*/1);
 
     // Barrier: merge this bound in partition order, canonicalize, and
-    // cross-block. A solution's minimum gate lives in its own partition, so
-    // only earlier workers (whose instruments cover all its gates) can ever
-    // rediscover a superset — later workers need no blocking clause.
+    // cross-block SYMMETRICALLY — every shard receives every other shard's
+    // solutions. Earlier shards need the clauses to not rediscover supersets
+    // (a superset's minimum gate can move to an earlier partition); the
+    // symmetric direction keeps all clause databases mutual supersets, the
+    // precondition for the learnt exchange below.
     const std::size_t bound_start = result.solutions.size();
     for (std::size_t s = 0; s < num_shards; ++s) {
-      for (std::size_t t = 0; t < s; ++t) {
-        if (shards[t].exhausted) continue;
+      for (std::size_t t = 0; t < num_shards; ++t) {
+        if (t == s || shards[t].exhausted) continue;
         DiagnosisInstance& inst = *shards[t].inst;
         for (const auto& solution : shards[s].bound_solutions) {
           sat::Clause blocking;
@@ -254,6 +278,40 @@ BsatResult parallel_sat_diagnose(const Netlist& nl, const TestSet& tests,
         result.solutions.push_back(std::move(solution));
       }
       shards[s].bound_solutions.clear();
+    }
+
+    // Learnt exchange at the barrier. Sound here and only here: after the
+    // symmetric cross-blocking every shard's irredundant clause set implies
+    // every other's (identical instances + the same blocking clauses), so a
+    // learnt derived in any shard is implied in all of them. Deterministic:
+    // each shard's batch is a pure function of its own (single-threaded)
+    // search, and imports happen in fixed shard order.
+    if (options.share_learnts && num_shards > 1) {
+      std::vector<std::vector<sat::SharedClause>> batches(num_shards);
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        if (shards[s].exhausted) continue;
+        shards[s].inst->solver.export_learnts(
+            kShardShareMaxLbd, kShardShareMaxClauses, batches[s]);
+      }
+      exec::parallel_for(
+          pool, num_shards,
+          [&](std::size_t t, std::size_t) {
+            if (shards[t].exhausted) return;
+            sat::Solver& solver = shards[t].inst->solver;
+            std::set<sat::Clause> seen;  // dedup across producer batches
+            for (std::size_t s = 0; s < num_shards; ++s) {
+              if (s == t) continue;
+              for (const sat::SharedClause& shared : batches[s]) {
+                if (!seen.insert(shared.lits).second) continue;
+                solver.import_clause(shared);
+                if (!solver.ok()) {
+                  shards[t].exhausted = true;
+                  return;
+                }
+              }
+            }
+          },
+          /*grain=*/1);
     }
     std::sort(result.solutions.begin() +
                   static_cast<std::ptrdiff_t>(bound_start),
@@ -301,8 +359,8 @@ BsatResult basic_sat_diagnose(const Netlist& nl, const TestSet& tests,
     }
     if (options.cone_of_influence) {
       // Pre-apply the instance builder's universe restriction so the
-      // partition boundaries match each shard's instrumented suffix (the
-      // partition clause indexes the shard's first end-begin selects).
+      // partition boundaries index the instrumented universe the shards
+      // actually build (the activation clauses index select_var directly).
       // Must mirror the builder's root selection exactly: with
       // constrain_passing_outputs every copy constrains all outputs.
       std::vector<GateId> roots;

@@ -36,14 +36,21 @@ struct BsatOptions {
   /// heuristic and hinted to positive polarity. Empty = off.
   std::vector<std::uint32_t> select_activity_seed;
   /// Candidate-parallel enumeration lanes (exec/ runtime). With N > 1 the
-  /// instrumented set is partitioned by the minimum selected gate: worker t
-  /// owns its own solver over the instance restricted to corrections whose
-  /// lowest-indexed gate falls in partition t, bounds are synchronized at a
-  /// barrier where every worker's solutions are merged (canonical order)
-  /// and cross-blocked. Complete enumerations are bit-identical for every
-  /// thread count; truncated runs (deadline / max_solutions) may differ in
-  /// which solutions they kept.
+  /// instrumented set is partitioned by the minimum selected gate: every
+  /// worker builds an identical full-universe instance and restricts itself
+  /// to corrections whose lowest-indexed gate falls in its partition by
+  /// assuming a per-partition activation variable. Bounds are synchronized
+  /// at a barrier where every worker's solutions are merged (canonical
+  /// order), cross-blocked into every other worker, and low-LBD learnts are
+  /// exchanged (see share_learnts). Complete enumerations are bit-identical
+  /// for every thread count; truncated runs (deadline / max_solutions) may
+  /// differ in which solutions they kept.
   std::size_t num_threads = 1;
+  /// Exchange low-glue learnt clauses between partition workers at each
+  /// bound barrier (after symmetric cross-blocking, where every worker's
+  /// clause database implies every other's, making the exchange sound).
+  /// Deterministic; affects only search effort, never the solution sets.
+  bool share_learnts = true;
 };
 
 struct BsatResult {

@@ -54,7 +54,10 @@ CovResult solve_covering_sat(const std::vector<std::vector<GateId>>& sets,
   sat::Solver solver;
   std::vector<sat::Var> selectors;
   for (GateId g : universe) {
+    // Frozen: blocking clauses mention selectors across the whole
+    // enumeration (they are decision vars too, but the contract is explicit).
     const sat::Var v = solver.new_var(/*decidable=*/true);
+    solver.freeze(v);
     var_of[g] = v;
     selectors.push_back(v);
   }
@@ -143,6 +146,18 @@ CovResult solve_covering_sat(const std::vector<std::vector<GateId>>& sets,
   }
   result.all_seconds = solve_timer.seconds();
   if (!first_recorded) result.first_seconds = result.all_seconds;
+  if (result.complete) {
+    // A complete enumeration yields exactly the irredundant covers of size
+    // <= k regardless of search order (no irredundant cover is a proper
+    // superset of another, so subset blocking never drops one). Canonical
+    // order makes the output invariant under solver perturbations
+    // (inprocessing, clause sharing, thread count).
+    std::sort(result.solutions.begin(), result.solutions.end(),
+              [](const std::vector<GateId>& a, const std::vector<GateId>& b) {
+                if (a.size() != b.size()) return a.size() < b.size();
+                return a < b;
+              });
+  }
   return result;
 }
 

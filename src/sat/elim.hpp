@@ -1,0 +1,32 @@
+// Bounded variable elimination (MiniSat/SatELite style) with model
+// reconstruction.
+//
+// A variable v neither frozen, nor a decision variable, nor assigned, nor
+// mentioned by the active assumptions may be eliminated: every pairwise
+// resolvent of its positive and negative irredundant occurrences is added,
+// all clauses containing v are removed, and the smaller-polarity side is
+// saved on the solver's ExtendStack so model_value(v) stays exact (see
+// extend.hpp). Learnt clauses containing v are discarded unsaved — they are
+// implied by the irredundant set. Elimination is bounded: it is skipped when
+// either polarity occurs too often, when the resolvent count would grow the
+// formula, or when a resolvent would be too long (elim_occ_limit, elim_grow,
+// elim_resolvent_limit).
+#pragma once
+
+#include "sat/solver.hpp"
+
+namespace satdiag::sat {
+
+class Eliminator {
+ public:
+  explicit Eliminator(Solver& s) : s_(s) {}
+
+  /// One budgeted pass (InprocessConfig::elim_budget literal visits in
+  /// resolvent construction). Returns Solver::ok().
+  bool run();
+
+ private:
+  Solver& s_;
+};
+
+}  // namespace satdiag::sat

@@ -1,0 +1,28 @@
+#include "sat/extend.hpp"
+
+namespace satdiag::sat {
+
+void ExtendStack::push_clause(Lit elim, std::span<const Lit> others) {
+  const auto begin = static_cast<std::uint32_t>(others_.size());
+  others_.insert(others_.end(), others.begin(), others.end());
+  entries_.push_back({elim, begin, static_cast<std::uint32_t>(others_.size())});
+}
+
+void ExtendStack::extend(std::vector<LBool>& model) const {
+  const auto lit_true = [&](Lit l) {
+    return (model[static_cast<std::size_t>(l.var())] ^ l.sign()) ==
+           LBool::kTrue;
+  };
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    bool satisfied = lit_true(it->lit);
+    for (std::uint32_t i = it->begin; !satisfied && i < it->end; ++i) {
+      satisfied = lit_true(others_[static_cast<std::size_t>(i)]);
+    }
+    if (!satisfied) {
+      model[static_cast<std::size_t>(it->lit.var())] =
+          lbool_from(!it->lit.sign());
+    }
+  }
+}
+
+}  // namespace satdiag::sat

@@ -1,0 +1,54 @@
+// Model-reconstruction stack for bounded variable elimination.
+//
+// Variable elimination removes every clause containing the eliminated
+// variable, so a model of the simplified formula says nothing about it. The
+// MiniSat elimclauses scheme keeps just enough to reconstruct an exact value:
+// when v is eliminated, the clauses of its smaller-occurrence polarity are
+// pushed (with v's literal distinguished), closed by a unit of the opposite
+// polarity. extend() replays the stack backwards — the unit provides the
+// default value, and any saved clause left unsatisfied by the rest of the
+// model flips it — so Solver::model_value stays exact for eliminated
+// variables (the repair layer reads arbitrary gate variables out of models).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace satdiag::sat {
+
+class ExtendStack {
+ public:
+  /// Record a clause containing `elim` (the eliminated variable's literal as
+  /// it appears in the clause); `others` are the remaining literals.
+  void push_clause(Lit elim, std::span<const Lit> others);
+  /// Record the closing unit: the eliminated variable's default polarity
+  /// when every saved clause is already satisfied.
+  void push_unit(Lit elim) { push_clause(elim, {}); }
+
+  /// Walk the stack backwards over `model` (indexed by Var): any entry whose
+  /// clause is unsatisfied sets its distinguished literal true. kUndef never
+  /// satisfies a literal, so every eliminated variable ends up assigned.
+  /// Non-eliminated variables must already carry their model values.
+  void extend(std::vector<LBool>& model) const;
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  void clear() {
+    entries_.clear();
+    others_.clear();
+  }
+
+ private:
+  struct Entry {
+    Lit lit;  // the eliminated variable's literal in this clause
+    std::uint32_t begin;
+    std::uint32_t end;  // [begin, end) into others_
+  };
+  std::vector<Entry> entries_;
+  std::vector<Lit> others_;
+};
+
+}  // namespace satdiag::sat

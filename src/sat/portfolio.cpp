@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "exec/parallel.hpp"
+#include "sat/share.hpp"
 #include "util/rng.hpp"
 
 namespace satdiag::sat {
@@ -20,6 +21,7 @@ PortfolioResult solve_portfolio(int num_vars,
   std::atomic<bool> cancel{false};
   std::mutex winner_mutex;
   std::vector<Solver::Stats> per_config_stats(configs);
+  ClauseExchange exchange(configs);
 
   // One config per shard (grain 1): each lane owns one solver at a time, the
   // interrupt flag is the only cross-lane communication.
@@ -52,6 +54,25 @@ PortfolioResult solve_portfolio(int num_vars,
           solver.set_deadline(options.deadline);
           solver.set_conflict_budget(options.conflict_budget);
           solver.set_interrupt(&cancel);
+          if (options.share_learnts && configs > 1) {
+            // Restart-boundary exchange: publish fresh low-glue learnts,
+            // then import everything peers published since the last visit.
+            // collect() try-locks peers, so the hook never blocks the lane.
+            solver.set_share_hook([&exchange, &options, config,
+                                   batch = std::vector<SharedClause>(),
+                                   incoming = std::vector<SharedClause>()](
+                                      Solver& s) mutable {
+              batch.clear();
+              s.export_learnts(options.share_max_lbd,
+                               options.share_max_clauses, batch);
+              if (!batch.empty()) exchange.publish(config, std::move(batch));
+              incoming.clear();
+              exchange.collect(config, incoming);
+              for (const SharedClause& shared : incoming) {
+                s.import_clause(shared);  // drops stale/eliminated-var clauses
+              }
+            });
+          }
           status = solver.solve(assumptions);
         }
         per_config_stats[config] = solver.stats();

@@ -36,6 +36,16 @@ struct PortfolioOptions {
   double perturb_fraction = 0.5;
   Deadline deadline;
   std::int64_t conflict_budget = -1;  // per configuration
+  /// Exchange low-glue learnt clauses between configurations at restart
+  /// boundaries (lock-light, via sat::ClauseExchange). Sound because every
+  /// configuration attacks the identical formula. With num_threads > 1 the
+  /// exchange adds run-to-run search variance (the status stays
+  /// deterministic); with num_threads == 1 it degenerates to later configs
+  /// inheriting earlier configs' learnts, still fully deterministic.
+  bool share_learnts = true;
+  /// Glue cap and per-exchange batch cap for share_learnts.
+  unsigned share_max_lbd = 4;
+  std::size_t share_max_clauses = 1024;
 };
 
 struct PortfolioResult {

@@ -1,0 +1,39 @@
+#include "sat/probe.hpp"
+
+#include <cassert>
+
+namespace satdiag::sat {
+
+bool Prober::run() {
+  assert(s_.decision_level() == 0);
+  const std::uint64_t start = s_.stats_.propagations;
+  const int num_lits = 2 * s_.num_vars();
+  for (int idx = 0; idx < num_lits; ++idx) {
+    if (s_.stats_.propagations - start > s_.inprocess_cfg_.probe_budget) {
+      break;
+    }
+    const Lit r = Lit::from_index(idx);
+    // Root of the binary implication graph: r propagates over binaries
+    // (entries under r.index()) but nothing implies r (no binary clause
+    // contains r, i.e. no entries under (~r).index()).
+    if (s_.bin_watches_[static_cast<std::size_t>(idx)].empty() ||
+        !s_.bin_watches_[static_cast<std::size_t>((~r).index())].empty()) {
+      continue;
+    }
+    if (s_.value(r.var()) != LBool::kUndef ||
+        s_.eliminated_[static_cast<std::size_t>(r.var())]) {
+      continue;
+    }
+    s_.new_decision_level();
+    s_.unchecked_enqueue(r, Solver::kCRefUndef);
+    const Solver::CRef conflict = s_.propagate();
+    s_.cancel_until(0);
+    if (conflict != Solver::kCRefUndef) {
+      ++s_.stats_.failed_literals;
+      if (!s_.enqueue_root(~r)) return false;  // formula UNSAT at the root
+    }
+  }
+  return s_.ok_;
+}
+
+}  // namespace satdiag::sat

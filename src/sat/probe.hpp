@@ -1,0 +1,27 @@
+// Failed-literal probing on the roots of the binary implication graph.
+//
+// A literal r is a BIG root when some binary clause propagates from r but no
+// binary clause implies r: assigning r and running BCP then covers every
+// literal r dominates, so probing roots visits each implication chain once
+// instead of once per member (dawn-style probing). A probe that conflicts
+// proves ~r at the root level; the unit is enqueued and propagated
+// immediately, shrinking the formula for the passes that follow.
+#pragma once
+
+#include "sat/solver.hpp"
+
+namespace satdiag::sat {
+
+class Prober {
+ public:
+  explicit Prober(Solver& s) : s_(s) {}
+
+  /// One budgeted pass (InprocessConfig::probe_budget propagations).
+  /// Returns Solver::ok().
+  bool run();
+
+ private:
+  Solver& s_;
+};
+
+}  // namespace satdiag::sat

@@ -1,0 +1,42 @@
+#include "sat/share.hpp"
+
+namespace satdiag::sat {
+
+ClauseExchange::ClauseExchange(std::size_t producers) {
+  slots_.reserve(producers);
+  for (std::size_t i = 0; i < producers; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  cursors_.assign(producers, std::vector<std::size_t>(producers, 0));
+}
+
+void ClauseExchange::publish(std::size_t producer,
+                             std::vector<SharedClause> batch) {
+  if (batch.empty()) return;
+  Slot& slot = *slots_[producer];
+  const std::lock_guard<std::mutex> lock(slot.mutex);
+  for (auto& sc : batch) {
+    if (slot.log.size() >= kMaxLog) break;
+    slot.log.push_back(std::move(sc));
+  }
+}
+
+std::size_t ClauseExchange::collect(std::size_t consumer,
+                                    std::vector<SharedClause>& out) {
+  std::size_t appended = 0;
+  auto& cursors = cursors_[consumer];
+  for (std::size_t p = 0; p < slots_.size(); ++p) {
+    if (p == consumer) continue;
+    Slot& slot = *slots_[p];
+    const std::unique_lock<std::mutex> lock(slot.mutex, std::try_to_lock);
+    if (!lock.owns_lock()) continue;  // busy peer: catch up next round
+    for (std::size_t i = cursors[p]; i < slot.log.size(); ++i) {
+      out.push_back(slot.log[i]);
+      ++appended;
+    }
+    cursors[p] = slot.log.size();
+  }
+  return appended;
+}
+
+}  // namespace satdiag::sat

@@ -1,0 +1,54 @@
+// Lock-light clause exchange between solvers over the same base formula.
+//
+// DataSync-style (CryptoMiniSat): each producer appends its exported learnts
+// to its own mutex-guarded log; consumers keep a private read cursor per
+// producer and copy anything new. publish() takes only the producer's own
+// mutex; collect() try-locks each peer and simply skips one it cannot get —
+// a missed batch is picked up at the next exchange point, so no solver ever
+// blocks on another's critical section.
+//
+// Soundness: importing is valid whenever the importer's clause database
+// implies the exporter's (learnts are implied by the clause set alone —
+// assumptions never taint them). Both in-tree users satisfy this with
+// identical base formulas: the BSAT partition shards (exchange at the
+// per-bound barrier) and the portfolio workers (exchange at restart
+// boundaries via Solver::set_share_hook).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace satdiag::sat {
+
+class ClauseExchange {
+ public:
+  /// `producers` fixed up front: one append-only log + one cursor row each.
+  explicit ClauseExchange(std::size_t producers);
+
+  /// Append a batch to `producer`'s log (blocks only on that log's mutex).
+  /// Logs are bounded; clauses past the cap are dropped.
+  void publish(std::size_t producer, std::vector<SharedClause> batch);
+
+  /// Copy every clause other producers published since `consumer`'s last
+  /// collect into `out`. Peers whose log is momentarily locked are skipped
+  /// (their clauses arrive next round). Returns the number appended.
+  std::size_t collect(std::size_t consumer, std::vector<SharedClause>& out);
+
+ private:
+  struct Slot {
+    std::mutex mutex;
+    std::vector<SharedClause> log;
+  };
+  static constexpr std::size_t kMaxLog = 1 << 16;
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  // cursors_[consumer][producer]: log entries already collected. Each row is
+  // touched only by its consumer thread.
+  std::vector<std::vector<std::size_t>> cursors_;
+};
+
+}  // namespace satdiag::sat

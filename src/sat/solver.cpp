@@ -6,6 +6,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sat/elim.hpp"
+#include "sat/probe.hpp"
+#include "sat/subsume.hpp"
+#include "sat/vivify.hpp"
+
 namespace satdiag::sat {
 
 // ---------------------------------------------------------------------------
@@ -22,6 +27,7 @@ Solver::CRef Solver::Arena::alloc(std::span<const Lit> lits, bool learnt) {
   data.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
                  (learnt ? 2u : 0u));
   data.push_back(std::bit_cast<std::uint32_t>(0.0f));
+  data.push_back(0);  // meta word (lbd / tier / exported / unused rounds)
   for (Lit l : lits) data.push_back(static_cast<std::uint32_t>(l.index()));
   return cref;
 }
@@ -45,6 +51,8 @@ Var Solver::new_var(bool decidable, bool default_phase) {
   vardata_.push_back(VarData{});
   saved_phase_.push_back(default_phase);
   decision_.push_back(decidable);
+  frozen_.push_back(false);
+  eliminated_.push_back(false);
   activity_.push_back(0.0);
   heap_pos_.push_back(-1);
   seen_.push_back(false);
@@ -58,9 +66,20 @@ Var Solver::new_var(bool decidable, bool default_phase) {
   return v;
 }
 
+void Solver::set_inprocess(const InprocessConfig& config) {
+  inprocess_cfg_ = config;
+  next_inprocess_ = stats_.conflicts + config.first_conflicts;
+  inprocess_interval_ = std::max<std::uint64_t>(1, config.interval_conflicts);
+}
+
 bool Solver::add_clause(Clause lits) {
   if (decision_level() != 0) cancel_until(0);  // leftover solve() trail
   if (!ok_) return false;
+#ifndef NDEBUG
+  // The freeze contract: clauses must never mention eliminated variables
+  // (the caller should have frozen them before the elimination ran).
+  for (Lit l : lits) assert(!is_eliminated(l.var()));
+#endif
   std::sort(lits.begin(), lits.end());
   Lit prev = Lit::undef();
   std::size_t out = 0;
@@ -81,7 +100,7 @@ bool Solver::add_clause(Clause lits) {
     return ok_;
   }
   if (lits.size() == 2) {
-    attach_binary(lits[0], lits[1]);
+    attach_binary(lits[0], lits[1], /*learnt=*/false);
     ++num_bin_clauses_;
     return true;
   }
@@ -154,7 +173,7 @@ bool Solver::block_model(Clause lits) {
   assert(value(lits[0]) == LBool::kUndef);
 
   if (lits.size() == 2) {
-    attach_binary(lits[0], lits[1]);
+    attach_binary(lits[0], lits[1], /*learnt=*/false);
     ++num_bin_clauses_;
     if (value(lits[1]) == LBool::kFalse) {
       unchecked_enqueue(lits[0], bin_reason(lits[1]));
@@ -175,12 +194,14 @@ std::size_t Solver::num_clauses() const {
 }
 
 std::size_t Solver::num_learnts() const {
-  return learnts_.size() + num_bin_learnts_;
+  return learnts_core_.size() + learnts_mid_.size() + learnts_local_.size() +
+         num_bin_learnts_;
 }
 
-void Solver::attach_binary(Lit a, Lit b) {
-  bin_watches_[static_cast<std::size_t>((~a).index())].push_back({b});
-  bin_watches_[static_cast<std::size_t>((~b).index())].push_back({a});
+void Solver::attach_binary(Lit a, Lit b, bool learnt) {
+  const std::uint32_t flag = learnt ? 1u : 0u;
+  bin_watches_[static_cast<std::size_t>((~a).index())].push_back({b, flag});
+  bin_watches_[static_cast<std::size_t>((~b).index())].push_back({a, flag});
 }
 
 void Solver::attach_clause(CRef c) {
@@ -209,7 +230,7 @@ void Solver::remove_clause(CRef c) {
   detach_clause(c);
   // A clause locked as a reason must not be deleted; callers filter those.
   arena_.mark_deleted(c);
-  wasted_ += arena_.size(c) + 2;
+  wasted_ += arena_.size(c) + kClauseOverhead;
 }
 
 // ---------------------------------------------------------------------------
@@ -241,7 +262,7 @@ Solver::CRef Solver::propagate() {
     // Binary implications first: one cache line per watcher, no arena access,
     // no watch movement, and any conflict is found before touching the
     // heavier long-clause lists.
-    for (const BinWatcher w :
+    for (const BinWatcher& w :
          bin_watches_[static_cast<std::size_t>(p.index())]) {
       const unsigned v = val(w.implied);
       if (v == 1u) {
@@ -321,6 +342,7 @@ void Solver::cancel_until(int level) {
   trail_.resize(static_cast<std::size_t>(bound));
   trail_lim_.resize(static_cast<std::size_t>(level));
   qhead_ = bound;
+  totalize_head_ = 0;  // unassigned vars may now precede the scan cursor
 }
 
 // ---------------------------------------------------------------------------
@@ -417,19 +439,59 @@ Lit Solver::pick_branch_lit() {
   return Lit::undef();
 }
 
+Lit Solver::pick_totalize_lit() {
+  for (; totalize_head_ < num_vars(); ++totalize_head_) {
+    const Var v = totalize_head_;
+    if (value(v) == LBool::kUndef &&
+        !eliminated_[static_cast<std::size_t>(v)]) {
+      return Lit(v, !saved_phase_[static_cast<std::size_t>(v)]);
+    }
+  }
+  return Lit::undef();
+}
+
 // ---------------------------------------------------------------------------
 // Conflict analysis (first UIP + recursive minimization)
 
 void Solver::cla_bump_activity(CRef c) {
   float act = arena_.activity(c) + cla_inc_;
   if (act > 1e20f) {
-    for (CRef l : learnts_) {
-      arena_.set_activity(l, arena_.activity(l) * 1e-20f);
+    for (const std::vector<CRef>* list :
+         {&learnts_core_, &learnts_mid_, &learnts_local_}) {
+      for (CRef l : *list) {
+        arena_.set_activity(l, arena_.activity(l) * 1e-20f);
+      }
     }
     cla_inc_ *= 1e-20f;
     act = arena_.activity(c) + cla_inc_;
   }
   arena_.set_activity(c, act);
+}
+
+void Solver::update_learnt_on_use(CRef c) {
+  arena_.set_unused_rounds(c, 0);
+  const std::uint32_t size = arena_.size(c);
+  ++lbd_epoch_;
+  std::uint32_t lbd = 0;
+  for (std::uint32_t i = 0; i < size; ++i) {
+    const auto lev = static_cast<std::size_t>(
+        vardata_[static_cast<std::size_t>(arena_.lit(c, i).var())].level);
+    if (lbd_stamp_[lev] != lbd_epoch_) {
+      lbd_stamp_[lev] = lbd_epoch_;
+      ++lbd;
+    }
+  }
+  if (lbd < arena_.lbd(c)) {
+    arena_.set_lbd(c, lbd);
+    // Promote on improved glue; the tier tag moves the clause at the next
+    // reduce_db() re-bucketing.
+    if (lbd <= inprocess_cfg_.core_lbd) {
+      arena_.set_tier(c, kTierCore);
+    } else if (lbd <= inprocess_cfg_.mid_lbd &&
+               arena_.tier(c) == kTierLocal) {
+      arena_.set_tier(c, kTierMid);
+    }
+  }
 }
 
 void Solver::analyze(CRef conflict, Clause& out_learnt, int& out_btlevel,
@@ -444,7 +506,10 @@ void Solver::analyze(CRef conflict, Clause& out_learnt, int& out_btlevel,
   do {
     assert(reason != kCRefUndef);
     const bool bin = is_bin_reason(reason);
-    if (!bin && arena_.learnt(reason)) cla_bump_activity(reason);
+    if (!bin && arena_.learnt(reason)) {
+      cla_bump_activity(reason);
+      update_learnt_on_use(reason);
+    }
     const std::uint32_t size = bin ? 2 : arena_.size(reason);
     for (std::uint32_t i = (p == Lit::undef() ? 0 : 1); i < size; ++i) {
       // Binary reasons store only the "other" literal; a binary conflict
@@ -512,7 +577,7 @@ void Solver::analyze(CRef conflict, Clause& out_learnt, int& out_btlevel,
     out_btlevel = vardata_[static_cast<std::size_t>(out_learnt[1].var())].level;
   }
 
-  // Literal-block distance (used only as a statistic here).
+  // Literal-block distance (the tier placement of the new learnt).
   out_lbd = 0;
   ++lbd_epoch_;
   for (Lit l : out_learnt) {
@@ -597,31 +662,82 @@ void Solver::analyze_final(Lit p) {
 }
 
 // ---------------------------------------------------------------------------
-// Learnt DB management
+// Learnt DB management (glue tiers)
+
+std::vector<Solver::CRef>& Solver::tier_list(Tier t) {
+  switch (t) {
+    case kTierCore: return learnts_core_;
+    case kTierMid: return learnts_mid_;
+    default: return learnts_local_;
+  }
+}
+
+void Solver::push_learnt(CRef c, unsigned lbd) {
+  arena_.set_lbd(c, lbd);
+  const Tier t = lbd <= inprocess_cfg_.core_lbd  ? kTierCore
+                 : lbd <= inprocess_cfg_.mid_lbd ? kTierMid
+                                                 : kTierLocal;
+  arena_.set_tier(c, t);
+  tier_list(t).push_back(c);
+}
 
 void Solver::reduce_db() {
-  // Sort learnts by activity and drop the weaker half (never reasons; binary
-  // learnts never reach this list — they live in the binary layer).
-  std::sort(learnts_.begin(), learnts_.end(), [&](CRef a, CRef b) {
+  // Re-bucket by tier tag (analyze promotes by lowering the tag), demote
+  // mid-tier clauses unused for two consecutive reduce rounds, then halve
+  // the local tier by activity. Core clauses are kept outright — they carry
+  // the enumeration across the k = 1..K bound loop.
+  std::vector<CRef> core;
+  std::vector<CRef> mid;
+  std::vector<CRef> local;
+  const auto bucket = [&](std::vector<CRef>& list) {
+    for (CRef c : list) {
+      Tier t = arena_.tier(c);
+      if (t == kTierMid) {
+        const std::uint32_t unused = arena_.unused_rounds(c) + 1;
+        arena_.set_unused_rounds(c, unused);
+        if (unused > 2) {
+          arena_.set_tier(c, kTierLocal);
+          t = kTierLocal;
+        }
+      }
+      (t == kTierCore ? core : t == kTierMid ? mid : local).push_back(c);
+    }
+  };
+  bucket(learnts_core_);
+  bucket(learnts_mid_);
+  bucket(learnts_local_);
+
+  std::sort(local.begin(), local.end(), [&](CRef a, CRef b) {
     return arena_.activity(a) < arena_.activity(b);
   });
-  auto is_locked = [&](CRef c) {
+  const auto is_locked = [&](CRef c) {
     const Lit l0 = arena_.lit(c, 0);
     return value(l0) == LBool::kTrue &&
            vardata_[static_cast<std::size_t>(l0.var())].reason == c;
   };
   std::size_t out = 0;
-  for (std::size_t i = 0; i < learnts_.size(); ++i) {
-    const CRef c = learnts_[i];
-    if (!is_locked(c) && (i < learnts_.size() / 2)) {
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    const CRef c = local[i];
+    if (!is_locked(c) && (i < local.size() / 2)) {
       remove_clause(c);
       ++stats_.removed;
     } else {
-      learnts_[out++] = c;
+      local[out++] = c;
     }
   }
-  learnts_.resize(out);
+  local.resize(out);
+
+  learnts_core_ = std::move(core);
+  learnts_mid_ = std::move(mid);
+  learnts_local_ = std::move(local);
+  update_tier_stats();
   if (wasted_ * 2 > arena_.data.size()) garbage_collect();
+}
+
+void Solver::update_tier_stats() {
+  stats_.tier_core = learnts_core_.size();
+  stats_.tier_mid = learnts_mid_.size();
+  stats_.tier_local = learnts_local_.size();
 }
 
 void Solver::garbage_collect() {
@@ -641,6 +757,7 @@ void Solver::garbage_collect() {
     for (std::uint32_t i = 0; i < size; ++i) scratch.push_back(arena_.lit(c, i));
     const CRef moved = fresh.alloc(scratch, arena_.learnt(c));
     fresh.set_activity(moved, arena_.activity(c));
+    fresh.set_meta(moved, arena_.meta(c));
     arena_.mark_deleted(c);
     arena_.data[c + 1] = moved;  // forwarding pointer
     c = moved;
@@ -654,12 +771,15 @@ void Solver::garbage_collect() {
     }
   };
   for (CRef& c : clauses_) reloc(c);
-  for (CRef& c : learnts_) reloc(c);
+  for (CRef& c : learnts_core_) reloc(c);
+  for (CRef& c : learnts_mid_) reloc(c);
+  for (CRef& c : learnts_local_) reloc(c);
   for (Var v = 0; v < num_vars(); ++v) {
     auto& vd = vardata_[static_cast<std::size_t>(v)];
-    if (value(v) == LBool::kUndef) {
-      // Stale reason of an unassigned variable may point at a clause that
-      // was already removed; it is never read again, so drop it.
+    if (value(v) == LBool::kUndef || vd.level == 0) {
+      // Stale reasons — of unassigned variables (their clause may be gone)
+      // and of root assignments (never read; the clause may have been
+      // deleted by inprocessing) — are dropped rather than followed.
       vd.reason = kCRefUndef;
     } else if (vd.reason != kCRefUndef && !is_bin_reason(vd.reason)) {
       // Binary reasons are literal-encoded, not arena references; they
@@ -671,8 +791,279 @@ void Solver::garbage_collect() {
   for (auto& list : watches_) list.clear();
   arena_ = std::move(fresh);
   for (CRef c : clauses_) attach_clause(c);
-  for (CRef c : learnts_) attach_clause(c);
+  for (CRef c : learnts_core_) attach_clause(c);
+  for (CRef c : learnts_mid_) attach_clause(c);
+  for (CRef c : learnts_local_) attach_clause(c);
   wasted_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Inprocessing
+
+void Solver::clear_root_reasons() {
+  assert(decision_level() == 0);
+  // Level-0 reasons are never read by analyze/analyze_final (they skip
+  // level-0 variables); forgetting them unlocks every arena clause so the
+  // simplification passes may remove or rewrite anything.
+  for (Lit p : trail_) {
+    vardata_[static_cast<std::size_t>(p.var())].reason = kCRefUndef;
+  }
+}
+
+bool Solver::enqueue_root(Lit p) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+  if (value(p) == LBool::kTrue) return true;
+  if (value(p) == LBool::kFalse) {
+    ok_ = false;
+    return false;
+  }
+  const std::size_t before = trail_.size();
+  unchecked_enqueue(p, kCRefUndef);
+  ok_ = (propagate() == kCRefUndef);
+  // The simplification passes delete clauses freely, and a root reason must
+  // not outlive the clause it points to; root reasons are never read (see
+  // clear_root_reasons), so drop them as they appear.
+  for (std::size_t i = before; i < trail_.size(); ++i) {
+    vardata_[static_cast<std::size_t>(trail_[i].var())].reason = kCRefUndef;
+  }
+  return ok_;
+}
+
+void Solver::shrink_clause_detached(CRef c, std::span<const Lit> lits) {
+  assert(!lits.empty());
+  const std::uint32_t old_size = arena_.size(c);
+  const bool learnt = arena_.learnt(c);
+  if (lits.size() == 1) {
+    arena_.mark_deleted(c);
+    wasted_ += old_size + kClauseOverhead;
+    enqueue_root(lits[0]);
+    return;
+  }
+  if (lits.size() == 2) {
+    arena_.mark_deleted(c);
+    wasted_ += old_size + kClauseOverhead;
+    attach_binary(lits[0], lits[1], learnt);
+    if (learnt) {
+      ++num_bin_learnts_;
+      if (bin_export_queue_.size() < 65536) {
+        bin_export_queue_.emplace_back(lits[0], lits[1]);
+      }
+    } else {
+      ++num_bin_clauses_;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    arena_.set_lit(c, static_cast<std::uint32_t>(i), lits[i]);
+  }
+  arena_.shrink(c, static_cast<std::uint32_t>(lits.size()));
+  wasted_ += old_size - static_cast<std::uint32_t>(lits.size());
+  attach_clause(c);
+}
+
+void Solver::clean_clauses() {
+  assert(decision_level() == 0);
+  std::vector<Lit> kept;
+  const auto clean_list = [&](std::vector<CRef>& list) {
+    for (CRef c : list) {
+      if (arena_.deleted(c) || !ok_) continue;
+      const std::uint32_t size = arena_.size(c);
+      bool satisfied = false;
+      bool changed = false;
+      kept.clear();
+      for (std::uint32_t i = 0; i < size && !satisfied; ++i) {
+        const Lit l = arena_.lit(c, i);
+        if (value(l) == LBool::kTrue) {
+          satisfied = true;
+        } else if (value(l) == LBool::kFalse) {
+          changed = true;
+        } else {
+          kept.push_back(l);
+        }
+      }
+      if (satisfied) {
+        remove_clause(c);
+        continue;
+      }
+      if (!changed) continue;
+      // Root BCP forces the last literal of an almost-false clause, so at
+      // least two unassigned literals remain here.
+      detach_clause(c);
+      shrink_clause_detached(c, kept);
+    }
+  };
+  clean_list(clauses_);
+  clean_list(learnts_core_);
+  clean_list(learnts_mid_);
+  clean_list(learnts_local_);
+
+  // Binary layer: a binary with a root-assigned variable is satisfied
+  // (when one literal went false, BCP made the other true), so drop every
+  // watcher entry touching an assigned variable.
+  for (std::size_t idx = 0; idx < bin_watches_.size(); ++idx) {
+    auto& list = bin_watches_[idx];
+    if (list.empty()) continue;
+    const Lit a = ~Lit::from_index(static_cast<int>(idx));
+    std::size_t out = 0;
+    for (const BinWatcher& w : list) {
+      if (value(a) == LBool::kUndef && value(w.implied) == LBool::kUndef) {
+        list[out++] = w;
+        continue;
+      }
+      if (a.index() < w.implied.index()) {  // count each clause once
+        if (w.learnt) {
+          --num_bin_learnts_;
+        } else {
+          --num_bin_clauses_;
+        }
+      }
+    }
+    list.resize(out);
+  }
+}
+
+void Solver::compact_clause_lists() {
+  const auto compact = [&](std::vector<CRef>& list) {
+    std::erase_if(list, [&](CRef c) { return arena_.deleted(c); });
+  };
+  compact(clauses_);
+  compact(learnts_core_);
+  compact(learnts_mid_);
+  compact(learnts_local_);
+}
+
+bool Solver::inprocess() {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+  ++stats_.inprocess_runs;
+  const std::uint64_t work_before = stats_.subsumed + stats_.strengthened +
+                                    stats_.vivified + stats_.vars_eliminated +
+                                    stats_.failed_literals;
+  clear_root_reasons();
+  clean_clauses();
+  if (ok_) {
+    Subsumer subsumer(*this);
+    subsumer.run();
+  }
+  if (ok_) {
+    Prober prober(*this);
+    prober.run();
+  }
+  if (ok_) clean_clauses();  // probing may have fixed new root units
+  if (ok_) {
+    Vivifier vivifier(*this);
+    vivifier.run();
+  }
+  if (ok_) {
+    Eliminator eliminator(*this);
+    eliminator.run();
+  }
+  compact_clause_lists();
+  if (ok_ && wasted_ * 4 > arena_.data.size()) garbage_collect();
+  update_tier_stats();
+  // Geometric back-off keeps the total inprocessing effort logarithmic in
+  // the conflict count. A run that accomplished nothing backs off 4x harder:
+  // the occurrence-index setup of the passes is paid per run even when every
+  // pass comes back empty, which dominates on enumeration-style instances
+  // whose formula stops simplifying after the first pass.
+  const std::uint64_t work_after = stats_.subsumed + stats_.strengthened +
+                                   stats_.vivified + stats_.vars_eliminated +
+                                   stats_.failed_literals;
+  const std::uint64_t factor = work_after == work_before ? 8 : 2;
+  inprocess_interval_ = std::min<std::uint64_t>(inprocess_interval_ * factor,
+                                                std::uint64_t{1} << 20);
+  next_inprocess_ = stats_.conflicts + inprocess_interval_;
+  return ok_;
+}
+
+// ---------------------------------------------------------------------------
+// Clause sharing
+
+std::size_t Solver::export_learnts(unsigned max_lbd, std::size_t max_clauses,
+                                   std::vector<SharedClause>& out) {
+  std::size_t exported = 0;
+  // Root units first — the strongest facts the search produced.
+  const std::size_t root_end = root_trail_size();
+  while (export_unit_watermark_ < root_end && exported < max_clauses) {
+    SharedClause sc;
+    sc.lits.push_back(trail_[export_unit_watermark_++]);
+    sc.lbd = 1;
+    out.push_back(std::move(sc));
+    ++exported;
+  }
+  // Learnt binaries queued since the last export.
+  while (!bin_export_queue_.empty() && exported < max_clauses) {
+    const auto [a, b] = bin_export_queue_.back();
+    bin_export_queue_.pop_back();
+    SharedClause sc;
+    sc.lits = {std::min(a, b), std::max(a, b)};
+    sc.lbd = 2;
+    out.push_back(std::move(sc));
+    ++exported;
+  }
+  // Core/mid arena learnts under the glue cap, each exported at most once.
+  for (const std::vector<CRef>* list : {&learnts_core_, &learnts_mid_}) {
+    for (CRef c : *list) {
+      if (exported >= max_clauses) break;
+      if (arena_.deleted(c) || arena_.exported(c) ||
+          arena_.lbd(c) > max_lbd) {
+        continue;
+      }
+      arena_.set_exported(c);
+      SharedClause sc;
+      sc.lbd = arena_.lbd(c);
+      const std::uint32_t size = arena_.size(c);
+      sc.lits.reserve(size);
+      for (std::uint32_t i = 0; i < size; ++i) {
+        sc.lits.push_back(arena_.lit(c, i));
+      }
+      std::sort(sc.lits.begin(), sc.lits.end());
+      out.push_back(std::move(sc));
+      ++exported;
+    }
+  }
+  stats_.learnts_exported += exported;
+  return exported;
+}
+
+bool Solver::import_clause(const SharedClause& shared) {
+  if (!ok_) return false;
+  if (decision_level() != 0) cancel_until(0);
+  for (Lit l : shared.lits) {
+    // This solver eliminated a variable the exporter still resolves on; the
+    // clause is implied but may mention reconstructed-only variables.
+    if (eliminated_[static_cast<std::size_t>(l.var())]) return false;
+  }
+  Clause lits = shared.lits;
+  std::sort(lits.begin(), lits.end());
+  Lit prev = Lit::undef();
+  std::size_t out = 0;
+  for (Lit l : lits) {
+    if (value(l) == LBool::kTrue || l == ~prev) return false;  // nothing new
+    if (value(l) != LBool::kFalse && l != prev) {
+      lits[out++] = prev = l;
+    }
+  }
+  lits.resize(out);
+  if (lits.empty()) {
+    ok_ = false;
+    return false;
+  }
+  ++stats_.learnts_imported;
+  if (lits.size() == 1) {
+    return enqueue_root(lits[0]);
+  }
+  if (lits.size() == 2) {
+    attach_binary(lits[0], lits[1], /*learnt=*/true);
+    ++num_bin_learnts_;
+    return true;
+  }
+  const CRef cref = arena_.alloc(lits, /*learnt=*/true);
+  push_learnt(cref, std::max<unsigned>(shared.lbd, 2));
+  arena_.set_exported(cref);  // never bounce an import back out
+  attach_clause(cref);
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -732,13 +1123,16 @@ LBool Solver::search() {
       } else if (learnt.size() == 2) {
         // Learnt binaries go straight to the binary layer and are kept
         // forever: they are the strongest clauses the search produces.
-        attach_binary(learnt[0], learnt[1]);
+        attach_binary(learnt[0], learnt[1], /*learnt=*/true);
         ++num_bin_learnts_;
+        if (bin_export_queue_.size() < 65536) {
+          bin_export_queue_.emplace_back(learnt[0], learnt[1]);
+        }
         unchecked_enqueue(learnt[0], bin_reason(learnt[1]));
         ++stats_.learned;
       } else {
         const CRef cref = arena_.alloc(learnt, /*learnt=*/true);
-        learnts_.push_back(cref);
+        push_learnt(cref, lbd);
         attach_clause(cref);
         cla_bump_activity(cref);
         unchecked_enqueue(learnt[0], cref);
@@ -759,7 +1153,7 @@ LBool Solver::search() {
       ++stats_.restarts;
       return LBool::kUndef;  // caller loops; learnt clauses kept
     }
-    if (static_cast<double>(learnts_.size()) >= max_learnts_) {
+    if (static_cast<double>(learnts_local_.size()) >= max_learnts_) {
       reduce_db();
     }
 
@@ -780,6 +1174,11 @@ LBool Solver::search() {
     if (next == Lit::undef()) {
       ++stats_.decisions;
       next = pick_branch_lit();
+      if (next == Lit::undef() && !extend_.empty()) {
+        // See pick_totalize_lit(): with eliminated variables around, a model
+        // must assign *every* remaining variable before it can be trusted.
+        next = pick_totalize_lit();
+      }
       if (next == Lit::undef()) return LBool::kTrue;  // all assigned: model
     }
     new_decision_level();
@@ -801,12 +1200,26 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
     if (!same_assumptions) cancel_until(0);
   }
   assumptions_.assign(assumptions.begin(), assumptions.end());
+#ifndef NDEBUG
+  // Assumption variables must be frozen or decision vars; an eliminated one
+  // means the caller broke the freeze contract.
+  for (Lit a : assumptions_) assert(!is_eliminated(a.var()));
+#endif
   max_learnts_ = std::max<double>(
       static_cast<double>(clauses_.size()) / 3.0, 2000.0);
 
   LBool status = LBool::kUndef;
   while (status == LBool::kUndef) {
     if (!within_budget()) break;
+    if (decision_level() == 0) {
+      // Restart boundary: exchange clauses (portfolio hook), then run the
+      // budgeted simplification pipeline when it is due.
+      if (share_hook_) share_hook_(*this);
+      if (!ok_ || (inprocess_due() && !inprocess())) {
+        status = LBool::kFalse;
+        break;
+      }
+    }
     status = search();
     max_learnts_ *= 1.05;
   }
@@ -814,6 +1227,10 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
     for (Var v = 0; v < num_vars(); ++v) {
       model_[static_cast<std::size_t>(v)] = value(v);
     }
+    // Exact values for eliminated variables: replay the reconstruction
+    // stack (every non-eliminated variable is assigned — see
+    // pick_totalize_lit).
+    if (!extend_.empty()) extend_.extend(model_);
     // Keep the trail: an enumeration loop's block_model() + re-solve
     // continues from here instead of replaying the whole search.
     return status;

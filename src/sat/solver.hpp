@@ -1,4 +1,4 @@
-// Conflict-driven clause-learning SAT solver.
+// Conflict-driven clause-learning SAT solver with an inprocessing core.
 //
 // A from-scratch reimplementation of the Chaff/MiniSat architecture the paper
 // relies on ("conflict-based learning [14] and efficient Boolean constraint
@@ -6,11 +6,39 @@
 // binary-clause layer (implication lists drained before long-clause watches,
 // as in CryptoMiniSat/Glucose), first-UIP learning with recursive clause
 // minimization, EVSIDS decision heuristic with phase saving, Luby restarts,
-// activity-driven learnt-clause reduction with arena GC, incremental
-// solving under assumptions (the paper's BSAT procedure reuses learnt
-// clauses across the k=1..K iterations this way), and in-search model
+// incremental solving under assumptions (the paper's BSAT procedure reuses
+// learnt clauses across the k=1..K iterations this way), and in-search model
 // blocking (block_model) so all-solutions enumeration continues from the
 // live trail instead of restarting per solution.
+//
+// Long-lived incremental health comes from two subsystems (see the README's
+// "SAT core" subsection for the full contract):
+//
+//  * A glue-tiered learnt database (Glucose/CryptoMiniSat style): learnts
+//    live in core (LBD <= 3, kept), mid (LBD <= 6, demoted when unused for
+//    two reduce rounds), or local (everything else, activity-sorted halving)
+//    tiers. LBD is recomputed whenever a learnt serves as a reason, and
+//    improvements promote the clause.
+//  * inprocess(): a budgeted simplification pipeline run between restarts at
+//    the root level — clause cleaning, binary-implication-graph subsumption
+//    and self-subsuming resolution (subsume.hpp), failed-literal probing on
+//    BIG roots (probe.hpp), learnt-clause vivification (vivify.hpp), and
+//    bounded variable elimination (elim.hpp) with a model-reconstruction
+//    stack (extend.hpp) so model_value stays exact on eliminated variables.
+//
+// Frozen-variable contract: elimination only ever touches variables that are
+// neither decision variables nor frozen. Callers that will mention a
+// variable in *future* clauses or assumptions (select lines, correction
+// values, cardinality geq indicators, shard activation vars) must freeze it;
+// reading a variable out of model_value needs no freezing — reconstruction
+// is exact.
+//
+// Clause sharing: export_learnts()/import_clause() move low-LBD learnts
+// between solvers working on the *same* base formula (the BSAT partition
+// shards exchange at the per-bound barrier; solve_portfolio exchanges via
+// set_share_hook between restarts). Learnt clauses are implied by the clause
+// database alone — assumptions never taint them — so exchange is sound
+// whenever the receivers' clause databases are supersets of the exporter's.
 //
 // Extra hooks used by the diagnosis layer:
 //  * decision markers — BSAT restricts decisions to select/correction vars,
@@ -18,15 +46,61 @@
 //    the heuristic from simulation results (Sec. 6 of the paper).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "sat/extend.hpp"
 #include "sat/types.hpp"
 #include "util/timer.hpp"
 
 namespace satdiag::sat {
+
+/// A learnt clause in transit between solvers (sorted literals + the
+/// exporter's glue). See Solver::export_learnts / import_clause.
+struct SharedClause {
+  Clause lits;
+  unsigned lbd = 0;
+};
+
+/// Budgets and thresholds of the inprocessing pipeline. The defaults suit
+/// the diagnosis workloads; tests shrink the intervals to force the pipeline
+/// onto tiny formulas.
+struct InprocessConfig {
+  bool enabled = true;
+  /// Conflict count before the first run (0 = preprocess on first solve).
+  /// Preprocessing up front pays off on the search-bound diagnosis
+  /// instances; enumeration-style instances whose formula stops
+  /// simplifying are protected by the no-progress back-off instead (a run
+  /// that accomplishes nothing multiplies the interval by 8, see
+  /// Solver::inprocess).
+  std::uint64_t first_conflicts = 0;
+  /// Conflicts between runs; doubles after every productive run
+  /// (geometric back-off).
+  std::uint64_t interval_conflicts = 2000;
+  /// Propagation budgets per run.
+  std::uint64_t probe_budget = 200000;
+  std::uint64_t vivify_budget = 100000;
+  /// Literal-visit budget of the subsumption pass per run.
+  std::uint64_t subsume_budget = 2000000;
+  /// Resolvent-construction budget of the elimination pass per run.
+  std::uint64_t elim_budget = 1000000;
+  /// Skip elimination candidates with more occurrences on one polarity.
+  unsigned elim_occ_limit = 40;
+  /// Allowed clause-count growth per eliminated variable (0 = MiniSat rule).
+  unsigned elim_grow = 0;
+  /// Skip eliminations that would create a resolvent longer than this.
+  unsigned elim_resolvent_limit = 32;
+  /// Learnts vivified per run (round-robin over the tiers).
+  std::size_t vivify_clauses = 64;
+  /// Glue thresholds of the learnt-DB tiers.
+  unsigned core_lbd = 3;
+  unsigned mid_lbd = 6;
+};
 
 class Solver {
  public:
@@ -63,6 +137,23 @@ class Solver {
 
   bool ok() const { return ok_; }
 
+  // ---- frozen-variable contract ------------------------------------------
+  /// Exempt v from variable elimination. Mandatory for any variable that
+  /// future add_clause/solve calls will mention (decision variables are
+  /// exempt automatically — every enumeration loop blocks over them).
+  /// Freezing is permanent and cheap; model reads need no freezing.
+  void freeze(Var v) { frozen_[static_cast<std::size_t>(v)] = true; }
+  bool is_frozen(Var v) const { return frozen_[static_cast<std::size_t>(v)]; }
+  /// True once elimination removed v; model_value(v) remains exact (the
+  /// reconstruction stack replays the clauses that defined it).
+  bool is_eliminated(Var v) const {
+    return eliminated_[static_cast<std::size_t>(v)];
+  }
+
+  // ---- inprocessing -------------------------------------------------------
+  void set_inprocess(const InprocessConfig& config);
+  const InprocessConfig& inprocess_config() const { return inprocess_cfg_; }
+
   // ---- solving --------------------------------------------------------------
   /// kTrue: model available; kFalse: UNSAT under assumptions; kUndef: budget
   /// or deadline exhausted.
@@ -74,6 +165,26 @@ class Solver {
   /// After kFalse under assumptions: the subset of assumptions proven
   /// contradictory (in negated form, as in MiniSat's conflict vector).
   const std::vector<Lit>& conflict() const { return conflict_; }
+
+  // ---- clause sharing -------------------------------------------------------
+  /// Append learnts not yet exported — root units, learnt binaries, and
+  /// core/mid arena learnts with glue <= max_lbd (each clause leaves once;
+  /// literals sorted so receivers can deduplicate). Returns the number
+  /// appended; stops at max_clauses.
+  std::size_t export_learnts(unsigned max_lbd, std::size_t max_clauses,
+                             std::vector<SharedClause>& out);
+  /// Import a clause learnt by a solver over the same base formula (sound
+  /// whenever this solver's clause set implies the exporter's). Added as a
+  /// learnt at the root level; dropped (returns false) when it mentions an
+  /// eliminated variable or is already satisfied at the root. Imported
+  /// clauses are not re-exported.
+  bool import_clause(const SharedClause& shared);
+  /// Invoked at every restart boundary (root level, before the next search
+  /// segment) — the portfolio's lock-light exchange point. The hook may call
+  /// export_learnts/import_clause on the passed solver.
+  void set_share_hook(std::function<void(Solver&)> hook) {
+    share_hook_ = std::move(hook);
+  }
 
   // ---- budgets ----------------------------------------------------------------
   void set_conflict_budget(std::int64_t conflicts) { conflict_budget_ = conflicts; }
@@ -101,6 +212,20 @@ class Solver {
     std::uint64_t learned = 0;
     std::uint64_t removed = 0;
     std::uint64_t gc_runs = 0;
+    // Inprocessing pipeline counters.
+    std::uint64_t inprocess_runs = 0;
+    std::uint64_t subsumed = 0;       // clauses removed by BIG subsumption
+    std::uint64_t strengthened = 0;   // literals removed by self-subsumption
+    std::uint64_t vivified = 0;       // learnts shortened by vivification
+    std::uint64_t vars_eliminated = 0;
+    std::uint64_t failed_literals = 0;
+    // Clause sharing.
+    std::uint64_t learnts_exported = 0;
+    std::uint64_t learnts_imported = 0;
+    // Learnt-DB tier sizes (snapshot; summed across workers by merge()).
+    std::uint64_t tier_core = 0;
+    std::uint64_t tier_mid = 0;
+    std::uint64_t tier_local = 0;
 
     /// Aggregate another solver's counters (per-worker stats of the
     /// parallel diagnosis paths and the portfolio merge into one report).
@@ -113,6 +238,17 @@ class Solver {
       learned += other.learned;
       removed += other.removed;
       gc_runs += other.gc_runs;
+      inprocess_runs += other.inprocess_runs;
+      subsumed += other.subsumed;
+      strengthened += other.strengthened;
+      vivified += other.vivified;
+      vars_eliminated += other.vars_eliminated;
+      failed_literals += other.failed_literals;
+      learnts_exported += other.learnts_exported;
+      learnts_imported += other.learnts_imported;
+      tier_core += other.tier_core;
+      tier_mid += other.tier_mid;
+      tier_local += other.tier_local;
     }
   };
   const Stats& stats() const { return stats_; }
@@ -121,6 +257,11 @@ class Solver {
   std::size_t num_learnts() const;
 
  private:
+  friend class Subsumer;
+  friend class Prober;
+  friend class Vivifier;
+  friend class Eliminator;
+
   using CRef = std::uint32_t;
   static constexpr CRef kCRefUndef = 0xffffffffu;
 
@@ -139,9 +280,20 @@ class Solver {
     return kBinReasonFlag | static_cast<CRef>(other.index());
   }
 
-  // Arena clause layout: [header][activity bits][lits...]
+  // Learnt-DB tiers (meta word, bits 12..13).
+  enum Tier : std::uint32_t { kTierCore = 0, kTierMid = 1, kTierLocal = 2 };
+
+  // Arena clause layout: [header][activity bits][meta][lits...]
   // header = (size << 2) | (learnt << 1) | deleted.
+  // meta   = lbd (bits 0..11) | tier (12..13) | exported (14) |
+  //          unused reduce rounds (16..23); meaningful for learnts only.
   struct Arena {
+    static constexpr std::uint32_t kLbdMask = 0xfffu;
+    static constexpr std::uint32_t kTierShift = 12;
+    static constexpr std::uint32_t kExportedBit = 1u << 14;
+    static constexpr std::uint32_t kUnusedShift = 16;
+    static constexpr std::uint32_t kUnusedMask = 0xffu;
+
     std::vector<std::uint32_t> data;
 
     CRef alloc(std::span<const Lit> lits, bool learnt);
@@ -150,17 +302,42 @@ class Solver {
     bool deleted(CRef c) const { return data[c] & 1; }
     void mark_deleted(CRef c) { data[c] |= 1; }
     Lit lit(CRef c, std::uint32_t i) const {
-      return Lit::from_index(static_cast<int>(data[c + 2 + i]));
+      return Lit::from_index(static_cast<int>(data[c + 3 + i]));
     }
     void set_lit(CRef c, std::uint32_t i, Lit l) {
-      data[c + 2 + i] = static_cast<std::uint32_t>(l.index());
+      data[c + 3 + i] = static_cast<std::uint32_t>(l.index());
     }
     void shrink(CRef c, std::uint32_t new_size) {
       data[c] = (new_size << 2) | (data[c] & 3);
     }
     float activity(CRef c) const;
     void set_activity(CRef c, float a);
+
+    std::uint32_t lbd(CRef c) const { return data[c + 2] & kLbdMask; }
+    void set_lbd(CRef c, std::uint32_t lbd) {
+      data[c + 2] = (data[c + 2] & ~kLbdMask) | std::min(lbd, kLbdMask);
+    }
+    Tier tier(CRef c) const {
+      return static_cast<Tier>((data[c + 2] >> kTierShift) & 3u);
+    }
+    void set_tier(CRef c, Tier t) {
+      data[c + 2] = (data[c + 2] & ~(3u << kTierShift)) |
+                    (static_cast<std::uint32_t>(t) << kTierShift);
+    }
+    bool exported(CRef c) const { return data[c + 2] & kExportedBit; }
+    void set_exported(CRef c) { data[c + 2] |= kExportedBit; }
+    std::uint32_t unused_rounds(CRef c) const {
+      return (data[c + 2] >> kUnusedShift) & kUnusedMask;
+    }
+    void set_unused_rounds(CRef c, std::uint32_t n) {
+      data[c + 2] = (data[c + 2] & ~(kUnusedMask << kUnusedShift)) |
+                    ((n & kUnusedMask) << kUnusedShift);
+    }
+    std::uint32_t meta(CRef c) const { return data[c + 2]; }
+    void set_meta(CRef c, std::uint32_t m) { data[c + 2] = m; }
   };
+  /// Words per arena clause beyond its literals (header, activity, meta).
+  static constexpr std::uint32_t kClauseOverhead = 3;
 
   struct Watcher {
     CRef cref;
@@ -169,11 +346,12 @@ class Solver {
 
   // Watcher for a size-2 clause: when the watching literal becomes false,
   // `implied` is the only other literal — no arena load, no watch movement,
-  // no replacement-watch scan.
+  // no replacement-watch scan. `learnt` tags redundant binaries (subsumption
+  // may promote them to irredundant; the counts track both kinds).
   struct BinWatcher {
     Lit implied;
+    std::uint32_t learnt;
   };
-
 
   struct VarData {
     CRef reason = kCRefUndef;
@@ -185,9 +363,15 @@ class Solver {
   LBool value(Lit l) const { return value(l.var()) ^ l.sign(); }
   int decision_level() const { return static_cast<int>(trail_lim_.size()); }
   void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+  /// Trail prefix assigned at the root (stable across backjumps; root units
+  /// only ever append).
+  std::size_t root_trail_size() const {
+    return trail_lim_.empty() ? trail_.size()
+                              : static_cast<std::size_t>(trail_lim_[0]);
+  }
 
   void attach_clause(CRef c);
-  void attach_binary(Lit a, Lit b);
+  void attach_binary(Lit a, Lit b, bool learnt);
   void detach_clause(CRef c);
   void remove_clause(CRef c);
   void unchecked_enqueue(Lit p, CRef reason);
@@ -202,11 +386,47 @@ class Solver {
   void var_decay_activity() { var_inc_ *= (1.0 / 0.95); }
   void cla_bump_activity(CRef c);
   void cla_decay_activity() { cla_inc_ *= (1.0f / 0.999f); }
+  /// Recompute the glue of a learnt serving as a reason; promote on
+  /// improvement and reset its unused-round counter.
+  void update_learnt_on_use(CRef c);
+  std::vector<CRef>& tier_list(Tier t);
+  void push_learnt(CRef c, unsigned lbd);
   void reduce_db();
   void garbage_collect();
   LBool search();
   bool within_budget() const;
   static double luby(double y, int i);
+
+  // ---- inprocessing internals (solver.cpp + the sat/ module files) -------
+  bool inprocess();
+  bool inprocess_due() const {
+    return inprocess_cfg_.enabled && stats_.conflicts >= next_inprocess_;
+  }
+  /// Forget root-level reasons (analyze/analyze_final skip level-0 vars, so
+  /// they are never read): afterwards no arena clause is locked and the
+  /// simplification passes may remove or rewrite any clause.
+  void clear_root_reasons();
+  /// Remove root-satisfied clauses and strip root-false literals, in the
+  /// arena and the binary layer.
+  void clean_clauses();
+  /// Erase deleted CRefs from clauses_ and the learnt tiers (the
+  /// simplification passes delete lazily; GC requires compacted lists).
+  void compact_clause_lists();
+  /// Rewrite the (detached) clause c to `lits` — a subset of its literals,
+  /// none assigned at the root, size >= 1. Migrates to the binary layer or
+  /// the trail when it shrinks past the arena threshold.
+  void shrink_clause_detached(CRef c, std::span<const Lit> lits);
+  /// Enqueue a root-level unit and propagate; updates ok_.
+  bool enqueue_root(Lit p);
+  void update_tier_stats();
+
+  /// Totalizing fallback once elimination has run: BVE resolvents can lose
+  /// the propagation-completeness of the original encodings, so after every
+  /// decision variable is assigned, remaining non-eliminated variables are
+  /// decided too — a total BCP fixpoint satisfies every clause, which the
+  /// reconstruction stack requires. Scans from totalize_head_ (reset on
+  /// every backjump).
+  Lit pick_totalize_lit();
 
   // order heap (max-heap on activity)
   void heap_insert(Var v);
@@ -223,11 +443,16 @@ class Solver {
   bool ok_ = true;
   Arena arena_;
   std::vector<CRef> clauses_;  // arena clauses (size >= 3) only
-  std::vector<CRef> learnts_;  // arena learnts (size >= 3) only
+  // Learnt tiers (arena learnts, size >= 3): core is kept, mid demotes to
+  // local when unused, local is halved by activity in reduce_db(). analyze
+  // promotes by glue; reduce_db() re-buckets by the tier tag.
+  std::vector<CRef> learnts_core_;
+  std::vector<CRef> learnts_mid_;
+  std::vector<CRef> learnts_local_;
   std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
   // Dedicated binary-clause layer: bin_watches_[l.index()] holds the implied
-  // literals of all binary clauses containing ~l. Binary clauses are never
-  // deleted (they are the strongest learnts) and never garbage collected.
+  // literals of all binary clauses containing ~l. Binary clauses are only
+  // removed by inprocessing (root-satisfied) and never garbage collected.
   std::vector<std::vector<BinWatcher>> bin_watches_;
   std::size_t num_bin_clauses_ = 0;
   std::size_t num_bin_learnts_ = 0;
@@ -237,6 +462,8 @@ class Solver {
   std::vector<VarData> vardata_;
   std::vector<bool> saved_phase_;
   std::vector<bool> decision_;
+  std::vector<bool> frozen_;
+  std::vector<bool> eliminated_;
   std::vector<double> activity_;
   double var_inc_ = 1.0;
   float cla_inc_ = 1.0f;
@@ -251,6 +478,7 @@ class Solver {
   std::vector<Lit> assumptions_;
   std::vector<Lit> conflict_;
   std::vector<LBool> model_;
+  ExtendStack extend_;
 
   // analyze() scratch
   std::vector<bool> seen_;
@@ -263,6 +491,20 @@ class Solver {
   // slot; new_var appends one slot, covering levels 0..num_vars.
   std::vector<std::uint64_t> lbd_stamp_{0};
   std::uint64_t lbd_epoch_ = 0;
+
+  // Mirror the InprocessConfig defaults so a solver that never calls
+  // set_inprocess() still honors first_conflicts instead of running the
+  // pipeline on its first visit to decision level 0.
+  InprocessConfig inprocess_cfg_;
+  std::uint64_t next_inprocess_ = InprocessConfig{}.first_conflicts;
+  std::uint64_t inprocess_interval_ = InprocessConfig{}.interval_conflicts;
+  int totalize_head_ = 0;  // pick_totalize_lit() scan cursor
+
+  // Clause-sharing state: units exported so far (prefix of the root trail),
+  // learnt binaries awaiting export.
+  std::size_t export_unit_watermark_ = 0;
+  std::vector<std::pair<Lit, Lit>> bin_export_queue_;
+  std::function<void(Solver&)> share_hook_;
 
   double max_learnts_ = 0;
   std::int64_t conflict_budget_ = -1;

@@ -1,0 +1,137 @@
+#include "sat/subsume.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace satdiag::sat {
+
+namespace {
+
+struct BinaryClause {
+  Lit a;
+  Lit b;
+  bool learnt;
+};
+
+}  // namespace
+
+bool Subsumer::run() {
+  assert(s_.decision_level() == 0);
+  using CRef = Solver::CRef;
+
+  // Occurrence index over the arena clauses (the binary layer is the set of
+  // subsumers, not a target).
+  std::vector<std::vector<CRef>> occ(
+      static_cast<std::size_t>(2 * s_.num_vars()));
+  const auto index_list = [&](const std::vector<CRef>& list) {
+    for (CRef c : list) {
+      if (s_.arena_.deleted(c)) continue;
+      const std::uint32_t size = s_.arena_.size(c);
+      for (std::uint32_t i = 0; i < size; ++i) {
+        occ[static_cast<std::size_t>(s_.arena_.lit(c, i).index())].push_back(
+            c);
+      }
+    }
+  };
+  index_list(s_.clauses_);
+  index_list(s_.learnts_core_);
+  index_list(s_.learnts_mid_);
+  index_list(s_.learnts_local_);
+
+  // Snapshot the binary clauses: strengthening can migrate arena clauses
+  // into the binary layer mid-pass, and those must not perturb this
+  // iteration (they subsume on the next inprocess run).
+  std::vector<BinaryClause> bins;
+  for (std::size_t idx = 0; idx < s_.bin_watches_.size(); ++idx) {
+    const Lit a = ~Lit::from_index(static_cast<int>(idx));
+    for (const Solver::BinWatcher& w : s_.bin_watches_[idx]) {
+      if (a.index() < w.implied.index()) {
+        bins.push_back({a, w.implied, w.learnt != 0});
+      }
+    }
+  }
+
+  std::uint64_t budget = s_.inprocess_cfg_.subsume_budget;
+  const auto contains = [&](CRef c, Lit l) {
+    const std::uint32_t size = s_.arena_.size(c);
+    budget -= std::min<std::uint64_t>(budget, size);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      if (s_.arena_.lit(c, i) == l) return true;
+    }
+    return false;
+  };
+  const auto promote = [&](BinaryClause& bin) {
+    for (auto [x, y] : {std::pair{bin.a, bin.b}, std::pair{bin.b, bin.a}}) {
+      auto& list = s_.bin_watches_[static_cast<std::size_t>((~x).index())];
+      for (Solver::BinWatcher& w : list) {
+        if (w.implied == y && w.learnt != 0) {
+          w.learnt = 0;
+          break;
+        }
+      }
+    }
+    --s_.num_bin_learnts_;
+    ++s_.num_bin_clauses_;
+    bin.learnt = false;
+  };
+
+  std::vector<Lit> kept;
+  for (BinaryClause& bin : bins) {
+    if (budget == 0 || !s_.ok_) break;
+    if (s_.value(bin.a) != LBool::kUndef ||
+        s_.value(bin.b) != LBool::kUndef) {
+      continue;  // root-satisfied; clean_clauses drops it
+    }
+    // Subsumption: clauses containing both a and b. Iterate the shorter
+    // occurrence list; contains() re-verifies both anchors, so stale
+    // entries of already-rewritten clauses are skipped naturally.
+    {
+      const auto& oa = occ[static_cast<std::size_t>(bin.a.index())];
+      const auto& ob = occ[static_cast<std::size_t>(bin.b.index())];
+      const auto& shorter = oa.size() <= ob.size() ? oa : ob;
+      for (CRef c : shorter) {
+        if (budget == 0) break;
+        if (s_.arena_.deleted(c)) continue;
+        if (!contains(c, bin.a) || !contains(c, bin.b)) continue;
+        if (!s_.arena_.learnt(c) && bin.learnt) promote(bin);
+        s_.remove_clause(c);
+        ++s_.stats_.subsumed;
+      }
+    }
+    // Self-subsuming resolution, both directions: drop ~b from clauses
+    // containing a, and ~a from clauses containing b.
+    for (auto [keep, drop] : {std::pair{bin.a, ~bin.b},
+                              std::pair{bin.b, ~bin.a}}) {
+      const auto& ok_list = occ[static_cast<std::size_t>(keep.index())];
+      const auto& od_list = occ[static_cast<std::size_t>(drop.index())];
+      const auto& shorter = ok_list.size() <= od_list.size() ? ok_list
+                                                             : od_list;
+      // Collect first: shrink_clause_detached may rewrite a clause into the
+      // binary layer, which must not invalidate the list being iterated.
+      std::vector<CRef> targets;
+      for (CRef c : shorter) {
+        if (budget == 0) break;
+        if (s_.arena_.deleted(c)) continue;
+        if (contains(c, keep) && contains(c, drop)) targets.push_back(c);
+      }
+      for (CRef c : targets) {
+        if (s_.arena_.deleted(c)) continue;
+        kept.clear();
+        const std::uint32_t size = s_.arena_.size(c);
+        for (std::uint32_t i = 0; i < size; ++i) {
+          const Lit l = s_.arena_.lit(c, i);
+          if (l != drop) kept.push_back(l);
+        }
+        if (kept.size() == size) continue;  // stale entry
+        s_.detach_clause(c);
+        s_.shrink_clause_detached(c, kept);
+        ++s_.stats_.strengthened;
+        if (!s_.ok_) return false;
+      }
+    }
+  }
+  return s_.ok_;
+}
+
+}  // namespace satdiag::sat

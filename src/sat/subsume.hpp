@@ -1,0 +1,33 @@
+// Binary-implication-graph subsumption and self-subsuming resolution.
+//
+// Every binary clause (a | b) is matched against an occurrence index of the
+// arena clauses: a clause containing both a and b is subsumed (removed), and
+// a clause containing a and ~b is strengthened by removing ~b (resolving it
+// with the binary on b yields the same clause minus the literal, so the
+// rewrite preserves equivalence). Binaries are by far the most effective
+// subsumers and the only ones cheap enough to match exhaustively, which is
+// why the pass stops there (CryptoMiniSat's str-with-bins idea).
+//
+// Soundness note: when a *learnt* binary subsumes an irredundant clause, the
+// binary is promoted to irredundant first — otherwise variable elimination
+// (which discards learnts unsaved) could later delete the only clause
+// carrying that constraint.
+#pragma once
+
+#include "sat/solver.hpp"
+
+namespace satdiag::sat {
+
+class Subsumer {
+ public:
+  explicit Subsumer(Solver& s) : s_(s) {}
+
+  /// One budgeted pass (InprocessConfig::subsume_budget literal visits).
+  /// Returns Solver::ok().
+  bool run();
+
+ private:
+  Solver& s_;
+};
+
+}  // namespace satdiag::sat

@@ -1,0 +1,63 @@
+#include "sat/vivify.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace satdiag::sat {
+
+bool Vivifier::run() {
+  assert(s_.decision_level() == 0);
+  propagation_start_ = s_.stats_.propagations;
+  processed_ = 0;
+  for (const std::vector<Solver::CRef>* list :
+       {&s_.learnts_core_, &s_.learnts_mid_, &s_.learnts_local_}) {
+    for (Solver::CRef c : *list) {
+      if (processed_ >= s_.inprocess_cfg_.vivify_clauses) return s_.ok_;
+      if (s_.stats_.propagations - propagation_start_ >
+          s_.inprocess_cfg_.vivify_budget) {
+        return s_.ok_;
+      }
+      if (s_.arena_.deleted(c)) continue;
+      ++processed_;
+      if (!vivify_one(c)) return s_.ok_;
+    }
+  }
+  return s_.ok_;
+}
+
+bool Vivifier::vivify_one(Solver::CRef c) {
+  std::vector<Lit> lits;
+  const std::uint32_t size = s_.arena_.size(c);
+  lits.reserve(size);
+  for (std::uint32_t i = 0; i < size; ++i) lits.push_back(s_.arena_.lit(c, i));
+
+  // Detach first: the clause must not propagate against its own probe.
+  s_.detach_clause(c);
+  std::vector<Lit> kept;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const Lit li = lits[i];
+    const LBool v = s_.value(li);
+    if (v == LBool::kFalse) continue;  // implied out by the prefix: drop
+    if (v == LBool::kTrue) {
+      // Prefix implies li: (kept | li) subsumes the clause.
+      kept.push_back(li);
+      break;
+    }
+    s_.new_decision_level();
+    s_.unchecked_enqueue(~li, Solver::kCRefUndef);
+    const Solver::CRef conflict = s_.propagate();
+    kept.push_back(li);
+    if (conflict != Solver::kCRefUndef) break;  // prefix + ~li inconsistent
+  }
+  s_.cancel_until(0);
+
+  if (kept.size() < lits.size()) {
+    ++s_.stats_.vivified;
+    s_.shrink_clause_detached(c, kept);
+    return s_.ok_;
+  }
+  s_.attach_clause(c);
+  return true;
+}
+
+}  // namespace satdiag::sat

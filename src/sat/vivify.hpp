@@ -1,0 +1,35 @@
+// Clause vivification over the tiered learnt database.
+//
+// For a learnt (l1 | ... | ln), assume ~l1, ~l2, ... in turn and propagate
+// (with the clause detached). Three outcomes shorten the clause: a literal
+// already false under the prefix is dropped; a literal propagated true means
+// the prefix implies the clause, which truncates it there; a conflict proves
+// the prefix plus the current literal inconsistent, truncating likewise. The
+// shortened clause subsumes the original, so the rewrite is sound for both
+// redundant and irredundant clauses; only learnts are vivified here because
+// they are what an incremental enumeration accumulates.
+#pragma once
+
+#include "sat/solver.hpp"
+
+namespace satdiag::sat {
+
+class Vivifier {
+ public:
+  explicit Vivifier(Solver& s) : s_(s) {}
+
+  /// One budgeted pass (InprocessConfig::vivify_budget propagations, at most
+  /// vivify_clauses clauses, core tier first). Returns Solver::ok().
+  bool run();
+
+ private:
+  /// Vivify one detachable arena learnt; returns false when the budget or a
+  /// root conflict ended the pass.
+  bool vivify_one(Solver::CRef c);
+
+  Solver& s_;
+  std::uint64_t propagation_start_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace satdiag::sat

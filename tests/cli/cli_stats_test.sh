@@ -14,7 +14,9 @@ trap 'rm -rf "$TMP"' EXIT
 
 out="$("$CLI" diagnose "$TMP/faulty.bench" --tests "$TMP/tests.txt" \
     --approach bsat --stats)"
-for counter in conflicts decisions propagations binary_propagations restarts; do
+for counter in conflicts decisions propagations binary_propagations restarts \
+    inprocess_runs subsumed strengthened vivified vars_eliminated \
+    failed_literals learnts_exported learnts_imported; do
   if ! grep -q "${counter}:" <<< "$out"; then
     echo "missing solver counter '${counter}' in --stats output:" >&2
     echo "$out" >&2
@@ -25,6 +27,7 @@ done
 hybrid_out="$("$CLI" diagnose "$TMP/faulty.bench" --tests "$TMP/tests.txt" \
     --approach hybrid --stats)"
 grep -q "binary_propagations:" <<< "$hybrid_out"
+grep -q "tier_core/mid/local:" <<< "$hybrid_out"
 
 # Simulation-only approaches have no solver stats to print.
 if "$CLI" diagnose "$TMP/faulty.bench" --tests "$TMP/tests.txt" \

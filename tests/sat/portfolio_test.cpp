@@ -98,6 +98,34 @@ TEST(PortfolioTest, SingleThreadWinnerIsTheFirstConfig) {
   EXPECT_EQ(result.winner, 0u);
 }
 
+TEST(PortfolioTest, ClauseSharingPreservesStatusAndModels) {
+  // Restart-boundary learnt exchange between configs: the status (and model
+  // validity) must be unaffected, on SAT and UNSAT instances, serial and
+  // racing. Serial also pins that later configs importing earlier configs'
+  // learnts stays sound.
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    const auto clauses = random_3sat(24, 100, seed);
+    PortfolioOptions base;
+    base.num_configs = 4;
+    base.share_learnts = false;
+    base.num_threads = 1;
+    const PortfolioResult reference =
+        solve_portfolio(24, clauses, {}, base);
+    for (const std::size_t threads : {1u, 4u}) {
+      PortfolioOptions options = base;
+      options.share_learnts = true;
+      options.num_threads = threads;
+      const PortfolioResult result =
+          solve_portfolio(24, clauses, {}, options);
+      EXPECT_EQ(result.status, reference.status)
+          << "seed " << seed << " threads " << threads;
+      if (result.status == LBool::kTrue) {
+        EXPECT_TRUE(model_satisfies(clauses, result.model));
+      }
+    }
+  }
+}
+
 TEST(PortfolioTest, ExhaustedBudgetReportsUndef) {
   // A hard instance with a zero conflict budget: every config gives up.
   const std::vector<Clause> clauses = random_3sat(120, 511, 5);

@@ -10,6 +10,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/diff_harness.hpp"
 #include "sat/dimacs.hpp"
 #include "util/rng.hpp"
 
@@ -190,6 +191,233 @@ TEST(SolverDiffTest, InSearchBlockingEnumeratesExactlyAllModels) {
           << "iter " << iter << " in_search=" << in_search;
     }
   }
+}
+
+/// An InprocessConfig that fires the whole pipeline before the first search
+/// segment and between every pair of restarts.
+InprocessConfig aggressive_inprocess() {
+  InprocessConfig cfg;
+  cfg.enabled = true;
+  cfg.first_conflicts = 0;
+  cfg.interval_conflicts = 1;
+  return cfg;
+}
+
+TEST(SolverDiffTest, InprocessingOnAndOffMatchBruteForce) {
+  // Same corpus through an inprocessing-disabled and a maximally aggressive
+  // solver: both verdicts must match brute force, and every model must
+  // satisfy the ORIGINAL clauses (subsumption/strengthening/probing must
+  // never change the solution set over decision variables).
+  Rng rng(0xb5);
+  const std::size_t iters = difftest::iterations(200);
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    const int num_vars = 4 + static_cast<int>(rng.next_below(9));
+    const auto clauses = random_cnf(rng, num_vars, 5 + rng.next_below(50), 0.6);
+    const bool expected = brute_force_sat(num_vars, clauses);
+    for (const bool inprocess : {false, true}) {
+      Solver s;
+      InprocessConfig cfg = aggressive_inprocess();
+      cfg.enabled = inprocess;
+      s.set_inprocess(cfg);
+      for (int v = 0; v < num_vars; ++v) s.new_var();
+      for (const Clause& c : clauses) s.add_clause(c);
+      const LBool verdict = s.solve();
+      ASSERT_EQ(verdict == LBool::kTrue, expected)
+          << "iter " << iter << " inprocess=" << inprocess;
+      if (verdict == LBool::kTrue) check_model(s, clauses);
+    }
+  }
+}
+
+TEST(SolverDiffTest, RandomizedInprocessConfigsMatchBruteForce) {
+  // Inprocessing-randomized mode: every iteration draws a random
+  // InprocessConfig — pass budgets switched off or shrunk, the schedule
+  // collapsed to near-every-restart, elimination limits and tier thresholds
+  // perturbed — and the verdict must still match brute force, including a
+  // follow-up assumption solve (the diag layers re-enter every solver
+  // incrementally). The nightly diff-long CI job cranks the iteration count
+  // via SATDIAG_DIFF_ITERS.
+  Rng rng(0xb7);
+  const std::size_t iters = difftest::iterations(120);
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    const int num_vars = 4 + static_cast<int>(rng.next_below(9));
+    const auto clauses = random_cnf(rng, num_vars, 5 + rng.next_below(50), 0.6);
+
+    InprocessConfig cfg;
+    cfg.enabled = true;
+    cfg.first_conflicts = rng.next_below(3);
+    cfg.interval_conflicts = 1 + rng.next_below(4);
+    cfg.probe_budget = rng.next_bool() ? 0 : 1 + rng.next_below(100000);
+    cfg.vivify_budget = rng.next_bool() ? 0 : 1 + rng.next_below(100000);
+    cfg.subsume_budget = rng.next_bool() ? 0 : 1 + rng.next_below(1000000);
+    cfg.elim_budget = rng.next_bool() ? 0 : 1 + rng.next_below(1000000);
+    cfg.elim_occ_limit = 1 + static_cast<unsigned>(rng.next_below(60));
+    cfg.elim_grow = static_cast<unsigned>(rng.next_below(3));
+    cfg.elim_resolvent_limit = 2 + static_cast<unsigned>(rng.next_below(40));
+    cfg.vivify_clauses = 1 + rng.next_below(100);
+    cfg.core_lbd = 2 + static_cast<unsigned>(rng.next_below(3));
+    cfg.mid_lbd = cfg.core_lbd + 1 + static_cast<unsigned>(rng.next_below(4));
+
+    Solver s;
+    s.set_inprocess(cfg);
+    for (int v = 0; v < num_vars; ++v) s.new_var();
+    for (const Clause& c : clauses) s.add_clause(c);
+    const bool expected = brute_force_sat(num_vars, clauses);
+    const LBool verdict = s.solve();
+    ASSERT_EQ(verdict == LBool::kTrue, expected) << "iter " << iter;
+    if (verdict == LBool::kTrue) check_model(s, clauses);
+
+    std::vector<Lit> assumptions;
+    for (Var v = 0; v < num_vars; ++v) {
+      if (rng.next_bool(0.25)) assumptions.push_back(Lit(v, rng.next_bool()));
+    }
+    const bool expected_assumed =
+        brute_force_sat(num_vars, clauses, assumptions);
+    const LBool verdict2 = s.solve(assumptions);
+    ASSERT_EQ(verdict2 == LBool::kTrue, expected_assumed) << "iter " << iter;
+    if (verdict2 == LBool::kTrue) check_model(s, clauses);
+  }
+}
+
+TEST(SolverDiffTest, EliminatedVariableModelsAreReconstructed) {
+  // Tseitin-style corpus: decision inputs feeding non-decision aux gates
+  // (AND/OR/XOR), plus random constraint clauses over everything. Bounded
+  // variable elimination targets exactly such aux variables; model_value on
+  // an eliminated variable must come back through the reconstruction stack
+  // consistent with the variable's definition — checked by evaluating every
+  // ORIGINAL clause against the reported model.
+  Rng rng(0xb6);
+  std::uint64_t eliminated_total = 0;
+  const std::size_t iters = difftest::iterations(150);
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    const int num_inputs = 3 + static_cast<int>(rng.next_below(5));
+    const int num_aux = 2 + static_cast<int>(rng.next_below(6));
+    const int num_vars = num_inputs + num_aux;
+
+    Solver s;
+    s.set_inprocess(aggressive_inprocess());
+    for (int v = 0; v < num_inputs; ++v) s.new_var();
+    struct AuxDef {
+      int op;  // 0 = AND, 1 = OR, 2 = XOR
+      Lit a, b;
+    };
+    std::vector<AuxDef> defs;
+    std::vector<Clause> all_clauses;  // definitional + constraints
+    const auto emit = [&](Clause c) {
+      all_clauses.push_back(c);
+      s.add_clause(std::move(c));
+    };
+    for (int i = 0; i < num_aux; ++i) {
+      const Var out = s.new_var(/*decidable=*/false);
+      const int below = num_inputs + i;
+      AuxDef d;
+      d.op = static_cast<int>(rng.next_below(3));
+      d.a = Lit(static_cast<Var>(rng.next_below(
+                    static_cast<std::uint64_t>(below))),
+                rng.next_bool());
+      d.b = Lit(static_cast<Var>(rng.next_below(
+                    static_cast<std::uint64_t>(below))),
+                rng.next_bool());
+      defs.push_back(d);
+      const Lit o = pos(out);
+      switch (d.op) {
+        case 0:  // out <-> a & b
+          emit({~o, d.a});
+          emit({~o, d.b});
+          emit({o, ~d.a, ~d.b});
+          break;
+        case 1:  // out <-> a | b
+          emit({o, ~d.a});
+          emit({o, ~d.b});
+          emit({~o, d.a, d.b});
+          break;
+        default:  // out <-> a ^ b
+          emit({~o, d.a, d.b});
+          emit({~o, ~d.a, ~d.b});
+          emit({o, ~d.a, d.b});
+          emit({o, d.a, ~d.b});
+          break;
+      }
+    }
+    const std::size_t num_constraints = 1 + rng.next_below(6);
+    for (std::size_t c = 0; c < num_constraints; ++c) {
+      Clause clause;
+      const std::size_t len = 1 + rng.next_below(3);
+      for (std::size_t i = 0; i < len; ++i) {
+        clause.push_back(Lit(static_cast<Var>(rng.next_below(
+                                 static_cast<std::uint64_t>(num_vars))),
+                             rng.next_bool()));
+      }
+      emit(std::move(clause));
+    }
+
+    // Brute force over the inputs only: aux values are functions of them.
+    const auto eval = [&](std::uint32_t inputs, Lit l) -> bool {
+      std::uint32_t a = inputs;
+      for (std::size_t i = 0; i < defs.size(); ++i) {
+        const auto va = [&](Lit x) { return ((a >> x.var()) & 1u) != x.sign(); };
+        bool out = false;
+        switch (defs[i].op) {
+          case 0: out = va(defs[i].a) && va(defs[i].b); break;
+          case 1: out = va(defs[i].a) || va(defs[i].b); break;
+          default: out = va(defs[i].a) != va(defs[i].b); break;
+        }
+        a |= static_cast<std::uint32_t>(out) << (num_inputs + i);
+      }
+      return ((a >> l.var()) & 1u) != l.sign();
+    };
+    bool expected = false;
+    for (std::uint32_t in = 0; in < (1u << num_inputs) && !expected; ++in) {
+      bool ok = true;
+      for (const Clause& c : all_clauses) {
+        bool sat_c = false;
+        for (Lit l : c) sat_c |= eval(in, l);
+        if (!sat_c) {
+          ok = false;
+          break;
+        }
+      }
+      expected = ok;
+    }
+
+    const LBool verdict = s.solve();
+    ASSERT_EQ(verdict == LBool::kTrue, expected) << "iter " << iter;
+    for (int v = 0; v < num_vars; ++v) {
+      if (s.is_eliminated(static_cast<Var>(v))) {
+        ASSERT_GE(v, num_inputs) << "decision variable eliminated";
+        ++eliminated_total;
+      }
+    }
+    if (verdict == LBool::kTrue) {
+      check_model(s, all_clauses);
+      // Incremental follow-up under assumptions over the (decision) inputs:
+      // inprocessing between solves must not break later assumption solves.
+      std::vector<Lit> assumptions;
+      for (int v = 0; v < num_inputs; ++v) {
+        if (rng.next_bool(0.3)) {
+          assumptions.push_back(Lit(static_cast<Var>(v), rng.next_bool()));
+        }
+      }
+      bool expected_assumed = false;
+      for (std::uint32_t in = 0; in < (1u << num_inputs) && !expected_assumed;
+           ++in) {
+        bool ok = true;
+        for (Lit a : assumptions) ok = ok && eval(in, a);
+        for (const Clause& c : all_clauses) {
+          if (!ok) break;
+          bool sat_c = false;
+          for (Lit l : c) sat_c |= eval(in, l);
+          ok = sat_c;
+        }
+        expected_assumed = ok;
+      }
+      const LBool verdict2 = s.solve(assumptions);
+      ASSERT_EQ(verdict2 == LBool::kTrue, expected_assumed) << "iter " << iter;
+      if (verdict2 == LBool::kTrue) check_model(s, all_clauses);
+    }
+  }
+  // The corpus must actually exercise elimination + reconstruction.
+  EXPECT_GT(eliminated_total, 0u);
 }
 
 TEST(SolverDiffTest, DimacsRoundTripPreservesVerdicts) {

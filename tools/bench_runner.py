@@ -53,6 +53,15 @@ BENCHES = {
         ["--circuit", "s1423_like", "--scale", "1.0", "--tests", "16",
          "--errors", "3", "--seed", "3", "--limit", "300"],
     ),
+    # Solver-bound: the same ablation grid with the inprocessing pipeline
+    # disabled — comparing against ablation_advanced_sat isolates what
+    # probing/vivification/subsumption/BVE buy on the diagnosis instances.
+    "sat_inprocess": (
+        "bench_ablation_advanced_sat",
+        ["--circuit", "s1423_like", "--scale", "1.0", "--tests", "16",
+         "--errors", "3", "--seed", "3", "--limit", "300",
+         "--no-inprocess"],
+    ),
     # Simulation-bound: exhaustive stuck-at fault simulation.
     "fault_sim": (
         "bench_fault_sim",

@@ -87,6 +87,26 @@ void print_solver_stats(const sat::Solver::Stats& st) {
               static_cast<unsigned long long>(st.removed));
   std::printf("  gc_runs:             %llu\n",
               static_cast<unsigned long long>(st.gc_runs));
+  std::printf("  inprocess_runs:      %llu\n",
+              static_cast<unsigned long long>(st.inprocess_runs));
+  std::printf("  subsumed:            %llu\n",
+              static_cast<unsigned long long>(st.subsumed));
+  std::printf("  strengthened:        %llu\n",
+              static_cast<unsigned long long>(st.strengthened));
+  std::printf("  vivified:            %llu\n",
+              static_cast<unsigned long long>(st.vivified));
+  std::printf("  vars_eliminated:     %llu\n",
+              static_cast<unsigned long long>(st.vars_eliminated));
+  std::printf("  failed_literals:     %llu\n",
+              static_cast<unsigned long long>(st.failed_literals));
+  std::printf("  learnts_exported:    %llu\n",
+              static_cast<unsigned long long>(st.learnts_exported));
+  std::printf("  learnts_imported:    %llu\n",
+              static_cast<unsigned long long>(st.learnts_imported));
+  std::printf("  tier_core/mid/local: %llu/%llu/%llu\n",
+              static_cast<unsigned long long>(st.tier_core),
+              static_cast<unsigned long long>(st.tier_mid),
+              static_cast<unsigned long long>(st.tier_local));
 }
 
 void print_solutions(const Netlist& nl,
