@@ -1,0 +1,163 @@
+// Diagnosis-instance construction benchmark: walk vs template stamping.
+//
+// Builds the same multi-test BSAT instance three ways and times each:
+//  * walk — the reference per-copy encoder (template_stamped=false),
+//  * cold — template stamping with an empty artifact cache (pays one
+//    encoder walk to build the template, then stamps every copy),
+//  * warm — template stamping with the template already cached (the state
+//    every repeat build, parallel shard, and effect-analyzer sees).
+//
+// Before timing, the walk-built and stamped instances are checked for an
+// identical clause database (variable count, clause count, and the full
+// sorted-clause multiset via sat::Solver::snapshot_clauses) — a speedup on a
+// different instance would be meaningless.
+//
+// Run:  ./bench_instance_build [--circuit s38417_like] [--scale 1.0]
+//       [--errors 2] [--tests 32] [--seed 1] [--rounds 3] [--json]
+#include <algorithm>
+#include <cstdio>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "cache/artifact_cache.hpp"
+#include "cnf/clause_stream.hpp"
+#include "cnf/mux_instrument.hpp"
+#include "report/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+using namespace satdiag;
+
+int main(int argc, char** argv) {
+#if defined(__GLIBC__)
+  // Retain freed memory between rounds. Tearing down a round's instance
+  // otherwise munmaps hundreds of MB that the next timed build re-faults
+  // page by page — kernel churn, not instance construction, and it hits
+  // every timed variant with the same constant.
+  mallopt(M_MMAP_MAX, 0);
+  mallopt(M_TRIM_THRESHOLD, -1);
+#endif
+  CliArgs args;
+  std::string error;
+  if (!args.parse(argc, argv, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  ExperimentConfig config;
+  config.circuit = args.get_string("circuit", "s38417_like");
+  config.scale = args.get_double("scale", 1.0);
+  config.num_errors = static_cast<std::size_t>(args.get_int("errors", 2));
+  config.num_tests = static_cast<std::size_t>(args.get_int("tests", 32));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::size_t rounds =
+      static_cast<std::size_t>(args.get_int("rounds", 3));
+  const bool json = args.get_bool("json", false);
+  for (const std::string& flag : args.unused()) {
+    std::fprintf(stderr, "unknown flag --%s\n", flag.c_str());
+    return 2;
+  }
+
+  const auto prepared = prepare_experiment(config);
+  if (!prepared) {
+    std::fprintf(stderr, "no detectable experiment for %s\n",
+                 config.circuit.c_str());
+    return 1;
+  }
+  const Netlist& nl = prepared->faulty;
+  const TestSet& tests = prepared->tests;
+
+  // The BSAT configuration of run_experiment.
+  DiagnosisInstanceOptions options;
+  options.max_k = static_cast<unsigned>(config.num_errors);
+  options.gating_clauses = true;
+  options.internal_decisions = false;
+
+  // ---- identity check (untimed) -------------------------------------------
+  DiagnosisInstanceOptions walk_options = options;
+  walk_options.template_stamped = false;
+  {
+    const DiagnosisInstance walk =
+        build_diagnosis_instance(nl, tests, walk_options);
+    const DiagnosisInstance stamped =
+        build_diagnosis_instance(nl, tests, options);
+    if (walk.solver.num_vars() != stamped.solver.num_vars() ||
+        walk.solver.num_clauses() != stamped.solver.num_clauses()) {
+      std::fprintf(stderr,
+                   "instance mismatch: walk %d vars / %zu clauses, "
+                   "stamped %d vars / %zu clauses\n",
+                   walk.solver.num_vars(), walk.solver.num_clauses(),
+                   stamped.solver.num_vars(), stamped.solver.num_clauses());
+      return 1;
+    }
+    auto walk_db = walk.solver.snapshot_clauses();
+    auto stamped_db = stamped.solver.snapshot_clauses();
+    std::sort(walk_db.begin(), walk_db.end());
+    std::sort(stamped_db.begin(), stamped_db.end());
+    if (walk_db != stamped_db) {
+      std::fprintf(stderr, "clause databases differ between walk and stamp\n");
+      return 1;
+    }
+  }
+
+  // Construction time only: the instance is destroyed after the timer stops
+  // (tearing down a multi-million-clause solver frees millions of watch
+  // lists — real time, but not instance construction).
+  std::size_t num_clauses = 0;
+  const auto build_once = [&](const DiagnosisInstanceOptions& opts) {
+    Timer t;
+    const DiagnosisInstance inst = build_diagnosis_instance(nl, tests, opts);
+    const double s = t.seconds();
+    num_clauses = inst.solver.num_clauses();
+    return s;
+  };
+
+  double walk_seconds = 0.0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    walk_seconds += build_once(walk_options);
+  }
+
+  // Cold: every round starts from an empty cache and re-derives the
+  // templates (and cones, with COI on).
+  double cold_seconds = 0.0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    cache::ArtifactCache::global().clear();
+    cold_seconds += build_once(options);
+  }
+
+  // Warm: templates stay cached across rounds.
+  build_once(options);  // populate
+  double warm_seconds = 0.0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    warm_seconds += build_once(options);
+  }
+
+  const double per = static_cast<double>(rounds);
+  const ClauseStreamStats stream = clause_stream_stats();
+  if (json) {
+    std::printf(
+        "{\"bench\":\"instance_build\",\"circuit\":\"%s\",\"scale\":%.3f,"
+        "\"gates\":%zu,\"tests\":%zu,\"rounds\":%zu,\"clauses\":%zu,"
+        "\"walk_seconds\":%.6f,\"cold_seconds\":%.6f,"
+        "\"warm_seconds\":%.6f,\"cold_speedup\":%.2f,"
+        "\"warm_speedup\":%.2f,\"templates_built\":%llu,"
+        "\"copies_stamped\":%llu}\n",
+        config.circuit.c_str(), config.scale, nl.size(), tests.size(),
+        rounds, num_clauses, walk_seconds / per, cold_seconds / per,
+        warm_seconds / per, walk_seconds / cold_seconds,
+        walk_seconds / warm_seconds,
+        static_cast<unsigned long long>(stream.templates_built),
+        static_cast<unsigned long long>(stream.copies_stamped));
+  } else {
+    std::printf("# instance construction on %s (%zu gates, %zu tests)\n",
+                config.circuit.c_str(), nl.size(), tests.size());
+    std::printf("clauses per instance:  %zu\n", num_clauses);
+    std::printf("walk build:            %.4f s/build\n", walk_seconds / per);
+    std::printf("cold template build:   %.4f s/build (%.2fx)\n",
+                cold_seconds / per, walk_seconds / cold_seconds);
+    std::printf("warm template build:   %.4f s/build (%.2fx)\n",
+                warm_seconds / per, walk_seconds / warm_seconds);
+  }
+  return 0;
+}

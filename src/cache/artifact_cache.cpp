@@ -1,0 +1,190 @@
+#include "cache/artifact_cache.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace satdiag::cache {
+
+namespace {
+
+constexpr std::uint64_t kMul1 = 0xff51afd7ed558ccdULL;
+constexpr std::uint64_t kMul2 = 0xc4ceb9fe1a85ec53ULL;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= kMul1;
+  x ^= x >> 33;
+  x *= kMul2;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+KeyBuilder& KeyBuilder::mix(std::uint64_t v) {
+  hi_ = mix64(hi_ ^ v);
+  lo_ = mix64(lo_ + (v * 0x9e3779b97f4a7c15ULL) + (hi_ << 1));
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::mix(std::string_view s) {
+  mix(s.size());
+  std::uint64_t word = 0;
+  std::size_t fill = 0;
+  for (const char c : s) {
+    word = (word << 8) | static_cast<unsigned char>(c);
+    if (++fill == 8) {
+      mix(word);
+      word = 0;
+      fill = 0;
+    }
+  }
+  if (fill != 0) mix(word);
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::mix(const std::vector<bool>& bits) {
+  mix(bits.size());
+  std::uint64_t word = 0;
+  std::size_t fill = 0;
+  for (const bool b : bits) {
+    word = (word << 1) | (b ? 1u : 0u);
+    if (++fill == 64) {
+      mix(word);
+      word = 0;
+      fill = 0;
+    }
+  }
+  if (fill != 0) mix(word);
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::mix_double(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return mix(bits);
+}
+
+ArtifactKey netlist_fingerprint(const Netlist& nl) {
+  assert(nl.finalized());
+  KeyBuilder kb(ArtifactKind::kNetlist);
+  kb.mix(nl.size());
+  for (GateId g = 0; g < nl.size(); ++g) {
+    kb.mix(static_cast<std::uint64_t>(nl.type(g)));
+    const auto fanins = nl.fanins(g);
+    kb.mix(fanins.size());
+    for (const GateId f : fanins) kb.mix(f);
+  }
+  const auto mix_list = [&kb](const std::vector<GateId>& gates) {
+    kb.mix(gates.size());
+    for (const GateId g : gates) kb.mix(g);
+  };
+  mix_list(nl.inputs());
+  mix_list(nl.outputs());
+  mix_list(nl.dffs());
+  return kb.key();
+}
+
+ArtifactCache& ArtifactCache::global() {
+  static ArtifactCache cache;
+  return cache;
+}
+
+std::shared_ptr<const void> ArtifactCache::get_or_build_erased(
+    const ArtifactKey& key, const std::function<Erased()>& build) {
+  std::unique_lock lk(mu_);
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    it->second.last_used = ++tick_;
+    ++hits_;
+    auto future = it->second.future;  // survives eviction of the entry
+    lk.unlock();
+    return future.get();  // blocks while the first caller is still building
+  }
+  ++misses_;
+  std::promise<std::shared_ptr<const void>> promise;
+  Entry entry;
+  entry.future = promise.get_future().share();
+  entry.last_used = ++tick_;
+  entries_.emplace(key, std::move(entry));
+  lk.unlock();
+
+  Erased built;
+  try {
+    built = build();
+  } catch (...) {
+    lk.lock();
+    entries_.erase(key);
+    lk.unlock();
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+
+  lk.lock();
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    it->second.bytes = built.bytes;
+    it->second.ready = true;
+    bytes_ += built.bytes;
+    evict_locked();
+  }
+  lk.unlock();
+  promise.set_value(built.value);
+  return built.value;
+}
+
+void ArtifactCache::evict_locked() {
+  while (bytes_ > capacity_bytes_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.ready) continue;  // in flight: a builder owns it
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // everything in flight
+    bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+void ArtifactCache::set_capacity_bytes(std::size_t capacity) {
+  std::lock_guard lk(mu_);
+  capacity_bytes_ = capacity;
+  evict_locked();
+}
+
+void ArtifactCache::clear() {
+  std::lock_guard lk(mu_);
+  // In-flight entries stay: their builders will finish and publish; evicting
+  // a promise out from under a builder would drop its set_value.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.ready) {
+      bytes_ -= it->second.bytes;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard lk(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.bytes = bytes_;
+  s.entries = entries_.size();
+  return s;
+}
+
+void ArtifactCache::reset_stats() {
+  std::lock_guard lk(mu_);
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
+}
+
+}  // namespace satdiag::cache

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 
+#include "cache/artifact_cache.hpp"
+#include "cnf/clause_stream.hpp"
 #include "netlist/analysis.hpp"
 
 namespace satdiag {
@@ -22,11 +27,256 @@ std::vector<GateId> DiagnosisInstance::selected_gates_from_model() const {
   return out;
 }
 
+namespace {
+
+/// Sorted, deduplicated, validated instrumented gate set (empty request =
+/// every combinational gate). Shared by the stamped and walk builders.
+std::vector<GateId> resolve_instrumented(
+    const Netlist& nl, const DiagnosisInstanceOptions& options) {
+  std::vector<GateId> instrumented;
+  if (options.instrumented.empty()) {
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (nl.is_combinational(g)) instrumented.push_back(g);
+    }
+  } else {
+    instrumented = options.instrumented;
+    std::sort(instrumented.begin(), instrumented.end());
+    instrumented.erase(
+        std::unique(instrumented.begin(), instrumented.end()),
+        instrumented.end());
+    for (GateId g : instrumented) {
+      if (!nl.is_combinational(g)) {
+        throw NetlistError("only combinational gates can be instrumented");
+      }
+    }
+  }
+  return instrumented;
+}
+
+// Cone cache tags. fanin_cone is a pure function of (netlist, roots), so
+// (fingerprint, root tag) addresses a cone exactly; per-test cones use the
+// erroneous output gate as tag, the constrain_passing_outputs cone covers
+// all outputs at once.
+constexpr std::uint64_t kNoConeTag = ~0ull;
+constexpr std::uint64_t kAllOutputsTag = ~0ull - 1;
+
+std::shared_ptr<const std::vector<bool>> cached_cone(
+    const Netlist& nl, const cache::ArtifactKey& nl_fp, std::uint64_t tag,
+    const std::vector<GateId>& roots) {
+  cache::KeyBuilder kb(cache::ArtifactKind::kCone);
+  kb.mix(nl_fp).mix(tag);
+  return cache::ArtifactCache::global().get_or_build<std::vector<bool>>(
+      kb.key(),
+      [&]() -> std::pair<std::shared_ptr<const std::vector<bool>>,
+                         std::size_t> {
+        auto cone =
+            std::make_shared<std::vector<bool>>(fanin_cone(nl, roots));
+        const std::size_t bytes = sizeof(*cone) + cone->size() / 8;
+        return {std::move(cone), bytes};
+      });
+}
+
+std::shared_ptr<const ClauseStream> cached_copy_template(
+    const Netlist& nl, const cache::ArtifactKey& nl_fp,
+    const std::vector<bool>* cone, std::uint64_t cone_tag,
+    const std::vector<bool>& instrumented_flags,
+    const std::vector<GateId>& instrumented,
+    const DiagnosisInstanceOptions& options) {
+  cache::KeyBuilder kb(cache::ArtifactKind::kCopyTemplate);
+  kb.mix(nl_fp).mix(cone_tag);
+  // The (cone-restricted) universe, not the requested one: two requests
+  // that restrict to the same final set share the template.
+  kb.mix(instrumented.size());
+  for (const GateId g : instrumented) kb.mix(g);
+  kb.mix(options.gating_clauses ? 1 : 0);
+  kb.mix(options.internal_decisions ? 1 : 0);
+  return cache::ArtifactCache::global().get_or_build<ClauseStream>(
+      kb.key(),
+      [&]() -> std::pair<std::shared_ptr<const ClauseStream>, std::size_t> {
+        auto ts = std::make_shared<ClauseStream>(
+            build_copy_template(nl, cone, instrumented_flags,
+                                options.gating_clauses,
+                                options.internal_decisions));
+        const std::size_t bytes = ts->bytes();
+        return {std::move(ts), bytes};
+      });
+}
+
+/// Template-stamped construction: identical variable numbering and clause
+/// database as the walk below, but the per-copy encoder runs once per
+/// distinct cone (process-wide, via the artifact cache) instead of once per
+/// test.
+DiagnosisInstance build_stamped_instance(
+    const Netlist& nl, const TestSet& tests,
+    const DiagnosisInstanceOptions& options) {
+  DiagnosisInstance inst;
+  Solver& solver = inst.solver;
+  if (!options.inprocess) {
+    sat::InprocessConfig cfg = solver.inprocess_config();
+    cfg.enabled = false;
+    solver.set_inprocess(cfg);
+  }
+  inst.instrumented = resolve_instrumented(nl, options);
+
+  const cache::ArtifactKey nl_fp = cache::netlist_fingerprint(nl);
+
+  // Cone-of-influence reduction (see the walk builder for semantics). Cones
+  // are cache artifacts of their own: templates need the union-restricted
+  // instrumented set before they can even be keyed.
+  std::vector<std::shared_ptr<const std::vector<bool>>> cones;
+  std::vector<std::uint64_t> cone_tags;
+  if (options.cone_of_influence) {
+    if (options.constrain_passing_outputs) {
+      cones.push_back(cached_cone(nl, nl_fp, kAllOutputsTag, nl.outputs()));
+      cone_tags.push_back(kAllOutputsTag);
+    } else {
+      cones.reserve(tests.size());
+      cone_tags.reserve(tests.size());
+      for (const Test& test : tests) {
+        const GateId out_gate = test_output_gate(nl, test);
+        cones.push_back(cached_cone(nl, nl_fp, out_gate, {out_gate}));
+        cone_tags.push_back(out_gate);
+      }
+    }
+    std::vector<bool> union_cone(nl.size(), false);
+    for (const auto& cone : cones) {
+      for (GateId g = 0; g < nl.size(); ++g) {
+        if ((*cone)[g]) union_cone[g] = true;
+      }
+    }
+    std::erase_if(inst.instrumented,
+                  [&](GateId g) { return !union_cone[g]; });
+  }
+
+  // Shared select lines first — identical allocation order to the walk.
+  inst.select_index.assign(nl.size(), DiagnosisInstance::kNoSelect);
+  for (std::size_t i = 0; i < inst.instrumented.size(); ++i) {
+    inst.select_var.push_back(solver.new_var(/*decidable=*/true));
+    solver.freeze(inst.select_var.back());
+    inst.select_index[inst.instrumented[i]] = static_cast<std::uint32_t>(i);
+  }
+
+  std::vector<bool> instrumented_flags(nl.size(), false);
+  for (const GateId g : inst.instrumented) instrumented_flags[g] = true;
+
+  // One template (+ its extern-slot → select-var map) per distinct cone tag.
+  // Tests sharing an erroneous output share a plan; without COI every test
+  // shares the single full-circuit plan.
+  struct CopyPlan {
+    std::shared_ptr<const ClauseStream> ts;
+    std::vector<Var> extern_vars;
+  };
+  std::unordered_map<std::uint64_t, CopyPlan> plans;
+  const auto plan_for = [&](std::size_t t) -> const CopyPlan& {
+    const std::uint64_t tag =
+        cones.empty() ? kNoConeTag
+                      : (cones.size() == 1 ? cone_tags[0] : cone_tags[t]);
+    auto [it, inserted] = plans.try_emplace(tag);
+    if (inserted) {
+      const std::vector<bool>* cone =
+          cones.empty() ? nullptr
+                        : (cones.size() == 1 ? cones[0].get()
+                                             : cones[t].get());
+      it->second.ts = cached_copy_template(nl, nl_fp, cone, tag,
+                                           instrumented_flags,
+                                           inst.instrumented, options);
+      it->second.extern_vars.reserve(it->second.ts->extern_gates.size());
+      for (const GateId g : it->second.ts->extern_gates) {
+        it->second.extern_vars.push_back(
+            inst.select_var[inst.select_index[g]]);
+      }
+    }
+    return it->second;
+  };
+
+  // One exact variable reservation covering every upcoming copy: each
+  // variable owns four watch-list objects, and letting those tables grow
+  // geometrically across m stamps re-moves millions of vector headers —
+  // measurably the most expensive part of batch variable allocation.
+  {
+    std::size_t upcoming = 0;
+    for (std::size_t t = 0; t < tests.size(); ++t) {
+      upcoming += plan_for(t).ts->num_locals;
+    }
+    // Cardinality counter aux variables (<= (max_k + 1) rows per select for
+    // both counter encodings): left out, the counter's first new_var would
+    // re-move every just-reserved table.
+    const std::size_t rows = std::min<std::size_t>(inst.select_var.size(),
+                                                   options.max_k + 1);
+    upcoming += rows * inst.select_var.size();
+    solver.reserve_vars(upcoming);
+  }
+
+  StampScratch scratch;
+  for (std::size_t t = 0; t < tests.size(); ++t) {
+    const Test& test = tests[t];
+    assert(test.input_values.size() == nl.inputs().size());
+
+    const CopyPlan& plan = plan_for(t);
+    const ClauseStream& ts = *plan.ts;
+    const Var base =
+        stamp_clause_stream(solver, ts, plan.extern_vars, scratch);
+
+    CircuitEncoding enc;
+    enc.gate_var.assign(nl.size(), -1);
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (ts.gate_local[g] >= 0) {
+        enc.gate_var[g] = base + static_cast<Var>(ts.gate_local[g]);
+      }
+    }
+    std::vector<Var>& corrections = inst.correction_var.emplace_back();
+    corrections.resize(inst.instrumented.size(), -1);
+    for (std::size_t j = 0; j < ts.extern_gates.size(); ++j) {
+      corrections[inst.select_index[ts.extern_gates[j]]] =
+          base + static_cast<Var>(ts.correction_local[j]);
+    }
+
+    // Per-test unit constraints, in the walk's order: inputs, erroneous
+    // output, passing outputs.
+    for (const auto& [input_pos, local] : ts.input_locals) {
+      solver.add_clause(Lit(base + static_cast<Var>(local),
+                            /*negated=*/!test.input_values[input_pos]));
+    }
+    const GateId out_gate = test_output_gate(nl, test);
+    solver.add_clause(enc.lit(out_gate, /*negated=*/!test.correct_value));
+
+    if (options.constrain_passing_outputs) {
+      assert(options.expected_outputs.size() == tests.size());
+      const auto& golden = options.expected_outputs[t];
+      assert(golden.size() == nl.outputs().size());
+      for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+        if (o == test.output_index) continue;
+        solver.add_clause(enc.lit(nl.outputs()[o], /*negated=*/!golden[o]));
+      }
+    }
+
+    inst.copies.push_back(std::move(enc));
+  }
+
+  std::vector<Lit> select_lits;
+  select_lits.reserve(inst.select_var.size());
+  for (Var s : inst.select_var) select_lits.push_back(sat::pos(s));
+  inst.cardinality = encode_cardinality_tracker(
+      solver, std::move(select_lits), options.max_k, options.card_encoding);
+
+  return inst;
+}
+
+}  // namespace
+
 DiagnosisInstance build_diagnosis_instance(
     const Netlist& nl, const TestSet& tests,
     const DiagnosisInstanceOptions& options) {
   assert(nl.finalized());
   assert(!tests.empty());
+  if (options.template_stamped) {
+    return build_stamped_instance(nl, tests, options);
+  }
+
+  // Reference walk encoder: one netlist traversal per test copy. Kept (under
+  // template_stamped=false) as the anchor the stamped path is differentially
+  // tested against — every change here must be mirrored in
+  // build_copy_template and vice versa.
   DiagnosisInstance inst;
   Solver& solver = inst.solver;
   if (!options.inprocess) {
@@ -35,23 +285,7 @@ DiagnosisInstance build_diagnosis_instance(
     solver.set_inprocess(cfg);
   }
 
-  // Instrumented gate set.
-  if (options.instrumented.empty()) {
-    for (GateId g = 0; g < nl.size(); ++g) {
-      if (nl.is_combinational(g)) inst.instrumented.push_back(g);
-    }
-  } else {
-    inst.instrumented = options.instrumented;
-    std::sort(inst.instrumented.begin(), inst.instrumented.end());
-    inst.instrumented.erase(
-        std::unique(inst.instrumented.begin(), inst.instrumented.end()),
-        inst.instrumented.end());
-    for (GateId g : inst.instrumented) {
-      if (!nl.is_combinational(g)) {
-        throw NetlistError("only combinational gates can be instrumented");
-      }
-    }
-  }
+  inst.instrumented = resolve_instrumented(nl, options);
 
   // Cone-of-influence reduction: per-copy cones of the constrained outputs,
   // instrumented set restricted to their union. `cones` stays empty (and

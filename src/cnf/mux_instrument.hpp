@@ -58,6 +58,13 @@ struct DiagnosisInstanceOptions {
   /// elimination between restarts) in the instance solver. Ablation knob;
   /// solution sets are inprocessing-invariant.
   bool inprocess = true;
+  /// Build copies by stamping cached ClauseStream templates (one encoder
+  /// walk per distinct (circuit, cone, universe, options) key, relocated per
+  /// copy) instead of re-walking the netlist per test. Produces a
+  /// variable-for-variable and clause-for-clause identical instance — pinned
+  /// by tests/cnf/clause_stream_test.cpp, which is why the walk path is kept
+  /// as the reference anchor rather than deleted.
+  bool template_stamped = true;
 };
 
 struct DiagnosisInstance {

@@ -4,92 +4,12 @@
 
 namespace satdiag {
 
-using sat::Clause;
 using sat::Lit;
 using sat::Solver;
 
-namespace {
-
-// out <-> AND(ins) when `invert_out` is false, NAND otherwise.
-void encode_and_like(Solver& solver, Lit out, std::span<const Lit> ins,
-                     bool invert_out) {
-  const Lit o = invert_out ? ~out : out;
-  Clause big;
-  big.reserve(ins.size() + 1);
-  for (Lit in : ins) {
-    solver.add_clause(~o, in);
-    big.push_back(~in);
-  }
-  big.push_back(o);
-  solver.add_clause(std::move(big));
-}
-
-// out <-> OR(ins) when `invert_out` is false, NOR otherwise.
-void encode_or_like(Solver& solver, Lit out, std::span<const Lit> ins,
-                    bool invert_out) {
-  const Lit o = invert_out ? ~out : out;
-  Clause big;
-  big.reserve(ins.size() + 1);
-  for (Lit in : ins) {
-    solver.add_clause(o, ~in);
-    big.push_back(in);
-  }
-  big.push_back(~o);
-  solver.add_clause(std::move(big));
-}
-
-// z <-> a XOR b.
-void encode_xor2(Solver& solver, Lit z, Lit a, Lit b) {
-  solver.add_clause(~z, a, b);
-  solver.add_clause(~z, ~a, ~b);
-  solver.add_clause(z, ~a, b);
-  solver.add_clause(z, a, ~b);
-}
-
-}  // namespace
-
 void encode_gate_function(Solver& solver, GateType type, Lit out,
                           std::span<const Lit> ins) {
-  assert(is_combinational_type(type));
-  assert(arity_ok(type, ins.size()));
-  switch (type) {
-    case GateType::kBuf:
-      solver.add_clause(~out, ins[0]);
-      solver.add_clause(out, ~ins[0]);
-      return;
-    case GateType::kNot:
-      solver.add_clause(~out, ~ins[0]);
-      solver.add_clause(out, ins[0]);
-      return;
-    case GateType::kAnd:
-    case GateType::kNand:
-      encode_and_like(solver, out, ins, type == GateType::kNand);
-      return;
-    case GateType::kOr:
-    case GateType::kNor:
-      encode_or_like(solver, out, ins, type == GateType::kNor);
-      return;
-    case GateType::kXor:
-    case GateType::kXnor: {
-      // Chain pairwise with fresh intermediates.
-      Lit acc = ins[0];
-      for (std::size_t i = 1; i + 1 < ins.size(); ++i) {
-        const Lit next = sat::pos(solver.new_var(/*decidable=*/false));
-        encode_xor2(solver, next, acc, ins[i]);
-        acc = next;
-      }
-      const Lit target = type == GateType::kXor ? out : ~out;
-      if (ins.size() == 1) {
-        solver.add_clause(~target, acc);
-        solver.add_clause(target, ~acc);
-      } else {
-        encode_xor2(solver, target, acc, ins[ins.size() - 1]);
-      }
-      return;
-    }
-    default:
-      assert(false && "not a combinational type");
-  }
+  encode_gate_function_into(solver, type, out, ins);
 }
 
 CircuitEncoding encode_circuit(Solver& solver, const Netlist& nl,

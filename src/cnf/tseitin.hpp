@@ -4,7 +4,9 @@
 // diagnosis-instance builder, which re-encodes one circuit copy per test.
 #pragma once
 
+#include <cassert>
 #include <span>
+#include <utility>
 
 #include "netlist/netlist.hpp"
 #include "sat/solver.hpp"
@@ -15,6 +17,81 @@ namespace satdiag {
 /// `type` must be combinational; arity must match the type.
 void encode_gate_function(sat::Solver& solver, GateType type, sat::Lit out,
                           std::span<const sat::Lit> ins);
+
+/// Generic form of encode_gate_function over any clause sink providing
+/// `new_var(bool decidable)` and the `add_clause` overloads of sat::Solver.
+/// One body serves both the solver (direct encoding) and the ClauseStream
+/// template builder (relative-index encoding) — the two paths cannot
+/// diverge because they share this function.
+template <typename Sink>
+void encode_gate_function_into(Sink& sink, GateType type, sat::Lit out,
+                               std::span<const sat::Lit> ins) {
+  using sat::Clause;
+  using sat::Lit;
+  assert(is_combinational_type(type));
+  assert(arity_ok(type, ins.size()));
+  // out <-> AND/OR(ins), with NAND/NOR inverting the output literal.
+  const auto and_or_like = [&](bool or_gate, bool invert_out) {
+    const Lit o = invert_out ? ~out : out;
+    Clause big;
+    big.reserve(ins.size() + 1);
+    for (Lit in : ins) {
+      if (or_gate) {
+        sink.add_clause(o, ~in);
+        big.push_back(in);
+      } else {
+        sink.add_clause(~o, in);
+        big.push_back(~in);
+      }
+    }
+    big.push_back(or_gate ? ~o : o);
+    sink.add_clause(std::move(big));
+  };
+  const auto xor2 = [&](Lit z, Lit a, Lit b) {
+    sink.add_clause(~z, a, b);
+    sink.add_clause(~z, ~a, ~b);
+    sink.add_clause(z, ~a, b);
+    sink.add_clause(z, a, ~b);
+  };
+  switch (type) {
+    case GateType::kBuf:
+      sink.add_clause(~out, ins[0]);
+      sink.add_clause(out, ~ins[0]);
+      return;
+    case GateType::kNot:
+      sink.add_clause(~out, ~ins[0]);
+      sink.add_clause(out, ins[0]);
+      return;
+    case GateType::kAnd:
+    case GateType::kNand:
+      and_or_like(/*or_gate=*/false, type == GateType::kNand);
+      return;
+    case GateType::kOr:
+    case GateType::kNor:
+      and_or_like(/*or_gate=*/true, type == GateType::kNor);
+      return;
+    case GateType::kXor:
+    case GateType::kXnor: {
+      // Chain pairwise with fresh intermediates.
+      Lit acc = ins[0];
+      for (std::size_t i = 1; i + 1 < ins.size(); ++i) {
+        const Lit next = sat::pos(sink.new_var(/*decidable=*/false));
+        xor2(next, acc, ins[i]);
+        acc = next;
+      }
+      const Lit target = type == GateType::kXor ? out : ~out;
+      if (ins.size() == 1) {
+        sink.add_clause(~target, acc);
+        sink.add_clause(target, ~acc);
+      } else {
+        xor2(target, acc, ins[ins.size() - 1]);
+      }
+      return;
+    }
+    default:
+      assert(false && "not a combinational type");
+  }
+}
 
 /// One solver variable per gate of one combinational circuit copy.
 struct CircuitEncoding {

@@ -198,6 +198,21 @@ BsatResult parallel_sat_diagnose(const Netlist& nl, const TestSet& tests,
       },
       /*grain=*/1);
   result.build_seconds = build_timer.seconds();
+  // Every shard stamps its copies from the SAME cached ClauseStream
+  // template: the first shard to miss the artifact cache runs the encoder
+  // walk once, the others block on its in-flight future and relocate the
+  // finished template (no redundant re-encoding per shard). The resulting
+  // clause databases must be identical — the cross-blocking and learnt
+  // exchange below are only sound because of it — so verify the cheap
+  // invariant here.
+#ifndef NDEBUG
+  for (std::size_t s = 1; s < num_shards; ++s) {
+    assert(shards[s].inst->solver.num_vars() ==
+           shards[0].inst->solver.num_vars());
+    assert(shards[s].inst->solver.num_clauses() ==
+           shards[0].inst->solver.num_clauses());
+  }
+#endif
   // All worker instances are identical; report the first (it differs from
   // the serial instance only by the activation vars/clauses).
   result.num_vars =

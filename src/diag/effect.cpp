@@ -43,6 +43,9 @@ DiagnosisInstanceOptions effect_instance_options() {
 }
 }  // namespace
 
+// The instance is template-stamped: when the BSAT/hybrid pass already built
+// an instance on this circuit, the analyzer's copies relocate the cached
+// ClauseStream templates instead of re-running the encoder walk.
 EffectAnalyzer::EffectAnalyzer(const Netlist& nl, const TestSet& tests)
     : nl_(&nl),
       tests_(&tests),

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "sat/elim.hpp"
@@ -66,6 +67,65 @@ Var Solver::new_var(bool decidable, bool default_phase) {
   return v;
 }
 
+namespace {
+// Reserving to the exact needed size on every bulk load would defeat the
+// vectors' amortized doubling — each of m stamped copies would reallocate
+// and copy the whole array, turning construction quadratic. Grow
+// geometrically, and only when actually short.
+template <typename Vec>
+void reserve_amortized(Vec& v, std::size_t needed) {
+  if (needed > v.capacity()) v.reserve(std::max(needed, v.capacity() * 2));
+}
+}  // namespace
+
+Var Solver::new_vars(std::span<const std::uint8_t> flags) {
+  const Var base = num_vars();
+  const std::size_t n = assigns_.size() + flags.size();
+  reserve_vars(flags.size());
+  assigns_.resize(n, LBool::kUndef);
+  vardata_.resize(n);
+  saved_phase_.resize(n, false);
+  decision_.resize(n, false);
+  frozen_.resize(n, false);
+  eliminated_.resize(n, false);
+  activity_.resize(n, 0.0);
+  heap_pos_.resize(n, -1);
+  seen_.resize(n, false);
+  model_.resize(n, LBool::kUndef);
+  lbd_stamp_.resize(n + 1, 0);
+  watches_.resize(2 * n);
+  bin_watches_.resize(2 * n);
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    const Var v = base + static_cast<Var>(i);
+    if ((flags[i] & kVarFrozen) != 0) frozen_[static_cast<std::size_t>(v)] = true;
+    if ((flags[i] & kVarDecidable) != 0) {
+      decision_[static_cast<std::size_t>(v)] = true;
+      // Zero activity never beats a parent in the max-heap, so each insert
+      // is a constant-time append.
+      heap_insert(v);
+    }
+  }
+  return base;
+}
+
+void Solver::reserve_vars(std::size_t extra) {
+  const std::size_t n = assigns_.size() + extra;
+  reserve_amortized(assigns_, n);
+  reserve_amortized(vardata_, n);
+  reserve_amortized(saved_phase_, n);
+  reserve_amortized(decision_, n);
+  reserve_amortized(frozen_, n);
+  reserve_amortized(eliminated_, n);
+  reserve_amortized(activity_, n);
+  reserve_amortized(heap_pos_, n);
+  reserve_amortized(seen_, n);
+  reserve_amortized(model_, n);
+  reserve_amortized(lbd_stamp_, n + 1);
+  reserve_amortized(heap_, n);
+  reserve_amortized(watches_, 2 * n);
+  reserve_amortized(bin_watches_, 2 * n);
+}
+
 void Solver::set_inprocess(const InprocessConfig& config) {
   inprocess_cfg_ = config;
   next_inprocess_ = stats_.conflicts + config.first_conflicts;
@@ -108,6 +168,313 @@ bool Solver::add_clause(Clause lits) {
   clauses_.push_back(cref);
   attach_clause(cref);
   return true;
+}
+
+bool Solver::any_assigned(std::span<const Var> vars) const {
+  for (const Var v : vars) {
+    const auto i = static_cast<std::size_t>(v);
+    if (assigns_[i] != LBool::kUndef && vardata_[i].level == 0) return true;
+  }
+  return false;
+}
+
+bool Solver::add_stamped_stream(std::span<const std::uint32_t> codes,
+                                std::span<const std::uint32_t> sizes,
+                                std::span<const StreamWatchOp> plan_long,
+                                std::span<const StreamWatchOp> plan_bin,
+                                Var local_base, Var extern_base,
+                                std::span<const Var> extern_vars) {
+  static_assert(kStampClauseOverhead == kClauseOverhead);
+  if (decision_level() != 0) cancel_until(0);  // leftover solve() trail
+  if (!ok_) return false;
+  // Relocation on raw codes: (var << 1) | sign, so a local shifts by
+  // 2 * local_base and an extern slot swaps its variable bits wholesale.
+  const auto ext_base = static_cast<std::uint32_t>(extern_base);
+  const std::uint32_t local_off = static_cast<std::uint32_t>(local_base) << 1;
+  const auto reloc = [&](std::uint32_t code) -> std::uint32_t {
+    const std::uint32_t v = code >> 1;
+    if (v < ext_base) return code + local_off;
+    const Var ext = extern_vars[static_cast<std::size_t>(v - ext_base)];
+    return (static_cast<std::uint32_t>(ext) << 1) | (code & 1u);
+  };
+#ifndef NDEBUG
+  for (const std::uint32_t c : codes) {
+    const Lit l = Lit::from_index(static_cast<int>(reloc(c)));
+    assert(!is_eliminated(l.var()));
+    assert(value(l) == LBool::kUndef);
+  }
+  for (const std::uint32_t s : sizes) assert(s >= 2);
+#endif
+  // No literal is assigned and no clause can become one: nothing simplifies,
+  // nothing propagates. Fill the arena in one resize + relocation sweep and
+  // attach everything from the plan — the ops carry each clause's relative
+  // arena offset, so there is no per-clause cref bookkeeping either.
+  std::size_t arena_words = 0;
+  std::size_t num_long = 0;
+  std::size_t num_bin = 0;
+  for (const std::uint32_t s : sizes) {
+    if (s >= 3) {
+      arena_words += s + kClauseOverhead;
+      ++num_long;
+    } else {
+      ++num_bin;
+    }
+  }
+  const std::size_t old_words = arena_.data.size();
+  if (old_words + arena_words >= kBinReasonFlag) {
+    throw std::length_error("sat arena exceeds 2^31 words");
+  }
+  reserve_amortized(arena_.data, old_words + arena_words);
+  arena_.data.resize(old_words + arena_words);
+  reserve_amortized(clauses_, clauses_.size() + num_long);
+  std::uint32_t* p = arena_.data.data() + old_words;
+  std::size_t pos = 0;
+  for (const std::uint32_t size : sizes) {
+    if (size >= 3) {
+      clauses_.push_back(
+          static_cast<CRef>(static_cast<std::size_t>(p - arena_.data.data())));
+      p[0] = size << 2;  // header: irredundant, not deleted
+      p[1] = 0;          // activity 0.0f
+      p[2] = 0;          // meta
+      for (std::uint32_t k = 0; k < size; ++k) p[3 + k] = reloc(codes[pos + k]);
+      p += kClauseOverhead + size;
+    }
+    pos += size;
+  }
+  num_bin_clauses_ += num_bin;
+  // Ops arrive sorted by watch list and relocation is injective, so runs stay
+  // contiguous: relocate each list index once and fill the list in one go.
+  const auto arena_base = static_cast<std::uint32_t>(old_words);
+  std::size_t i = 0;
+  while (i < plan_long.size()) {
+    const std::uint32_t idx = plan_long[i].watch_index;
+    std::size_t j = i;
+    while (j < plan_long.size() && plan_long[j].watch_index == idx) ++j;
+    auto& list = watches_[reloc(idx)];
+    reserve_amortized(list, list.size() + (j - i));
+    for (; i < j; ++i) {
+      const StreamWatchOp& op = plan_long[i];
+      list.push_back(
+          {arena_base + op.arena_offset,
+           Lit::from_index(static_cast<int>(reloc(op.other_index)))});
+    }
+  }
+  i = 0;
+  while (i < plan_bin.size()) {
+    const std::uint32_t idx = plan_bin[i].watch_index;
+    std::size_t j = i;
+    while (j < plan_bin.size() && plan_bin[j].watch_index == idx) ++j;
+    auto& list = bin_watches_[reloc(idx)];
+    reserve_amortized(list, list.size() + (j - i));
+    for (; i < j; ++i) {
+      list.push_back(
+          {Lit::from_index(static_cast<int>(reloc(plan_bin[i].other_index))),
+           /*learnt=*/0u});
+    }
+  }
+  return true;
+}
+
+bool Solver::add_clause_stream(std::span<const Lit> lits,
+                               std::span<const std::uint32_t> sizes,
+                               std::span<const StreamWatchOp> plan_long,
+                               std::span<const StreamWatchOp> plan_bin) {
+  if (decision_level() != 0) cancel_until(0);  // leftover solve() trail
+  if (!ok_) return false;
+#ifndef NDEBUG
+  for (Lit l : lits) assert(!is_eliminated(l.var()));
+#endif
+  // Arena upper bound up front; watch capacity is handled run-by-run when
+  // the plan is applied.
+  reserve_amortized(arena_.data, arena_.data.size() + lits.size() +
+                                     kClauseOverhead * sizes.size());
+  stream_crefs_.assign(sizes.size(), kCRefUndef);
+  stream_fast_.assign(sizes.size(), 0);
+
+  bool flushed = false;
+  const auto flush = [&]() {
+    if (flushed) return;
+    flushed = true;
+    apply_stream_plan(plan_long, plan_bin);
+  };
+
+  // Fast pass: while nothing gets enqueued, root values cannot change, so
+  // untouched clauses go straight to the arena and their watch attachments
+  // defer to the sorted plan. The first unit flushes the plan (propagation
+  // must see every prior clause attached, exactly like incremental
+  // add_clause) and demotes the rest of the stream to the slow path.
+  std::size_t ci = 0;
+  std::size_t pos = 0;
+  for (; ci < sizes.size(); ++ci) {
+    const std::uint32_t size = sizes[ci];
+    const std::span<const Lit> clause = lits.subspan(pos, size);
+    pos += size;
+    bool satisfied = false;
+    std::uint32_t num_false = 0;
+    for (const Lit l : clause) {
+      const LBool v = value(l);
+      if (v == LBool::kTrue) {
+        satisfied = true;
+        break;
+      }
+      num_false += static_cast<std::uint32_t>(v == LBool::kFalse);
+    }
+    if (satisfied) continue;
+    if (num_false == 0) {
+      if (size >= 3) {
+        const CRef cref = arena_.alloc(clause, /*learnt=*/false);
+        clauses_.push_back(cref);
+        stream_crefs_[ci] = cref;
+        stream_fast_[ci] = 1;
+        continue;
+      }
+      if (size == 2) {
+        stream_fast_[ci] = 1;  // bin watches come from the plan
+        ++num_bin_clauses_;
+        continue;
+      }
+      flush();
+      unchecked_enqueue(clause[0], kCRefUndef);
+      if (propagate() != kCRefUndef) {
+        ok_ = false;
+        return false;
+      }
+      ++ci;
+      break;
+    }
+    // The root trail shortens this clause: attach it immediately (its plan
+    // ops stay disabled). Only a shrunken *unit* changes values and forces
+    // the slow path.
+    stream_clause_.clear();
+    for (const Lit l : clause) {
+      if (value(l) != LBool::kFalse) stream_clause_.push_back(l);
+    }
+    if (stream_clause_.empty()) {
+      flush();
+      ok_ = false;
+      return false;
+    }
+    if (stream_clause_.size() == 1) {
+      flush();
+      unchecked_enqueue(stream_clause_[0], kCRefUndef);
+      if (propagate() != kCRefUndef) {
+        ok_ = false;
+        return false;
+      }
+      ++ci;
+      break;
+    }
+    if (stream_clause_.size() == 2) {
+      attach_binary(stream_clause_[0], stream_clause_[1], /*learnt=*/false);
+      ++num_bin_clauses_;
+      continue;
+    }
+    const CRef cref = arena_.alloc(stream_clause_, /*learnt=*/false);
+    clauses_.push_back(cref);
+    attach_clause(cref);
+  }
+
+  // Slow path: values are re-read per clause so a unit propagated mid-stream
+  // simplifies everything after it, exactly as a sequence of add_clause
+  // calls would.
+  for (; ci < sizes.size(); ++ci) {
+    const std::uint32_t size = sizes[ci];
+    const std::span<const Lit> clause = lits.subspan(pos, size);
+    pos += size;
+    stream_clause_.clear();
+    bool satisfied = false;
+    for (const Lit l : clause) {
+      const LBool v = value(l);
+      if (v == LBool::kTrue) {
+        satisfied = true;
+        break;
+      }
+      if (v != LBool::kFalse) stream_clause_.push_back(l);
+    }
+    if (satisfied) continue;
+    if (stream_clause_.empty()) {
+      ok_ = false;
+      return false;
+    }
+    if (stream_clause_.size() == 1) {
+      unchecked_enqueue(stream_clause_[0], kCRefUndef);
+      if (propagate() != kCRefUndef) {
+        ok_ = false;
+        return false;
+      }
+      continue;
+    }
+    if (stream_clause_.size() == 2) {
+      attach_binary(stream_clause_[0], stream_clause_[1], /*learnt=*/false);
+      ++num_bin_clauses_;
+      continue;
+    }
+    const CRef cref = arena_.alloc(stream_clause_, /*learnt=*/false);
+    clauses_.push_back(cref);
+    attach_clause(cref);
+  }
+  flush();
+  return true;
+}
+
+void Solver::apply_stream_plan(std::span<const StreamWatchOp> plan_long,
+                               std::span<const StreamWatchOp> plan_bin) {
+  // Ops arrive sorted by watch_index: fill each list in one run with one
+  // capacity reservation, sweeping the list headers in index order instead
+  // of jumping between 2·|clauses| random lists.
+  std::size_t i = 0;
+  while (i < plan_long.size()) {
+    const std::uint32_t idx = plan_long[i].watch_index;
+    std::size_t j = i;
+    while (j < plan_long.size() && plan_long[j].watch_index == idx) ++j;
+    auto& list = watches_[idx];
+    reserve_amortized(list, list.size() + (j - i));
+    for (; i < j; ++i) {
+      const StreamWatchOp& op = plan_long[i];
+      if (!stream_fast_[op.clause]) continue;
+      list.push_back({stream_crefs_[op.clause],
+                      Lit::from_index(static_cast<int>(op.other_index))});
+    }
+  }
+  i = 0;
+  while (i < plan_bin.size()) {
+    const std::uint32_t idx = plan_bin[i].watch_index;
+    std::size_t j = i;
+    while (j < plan_bin.size() && plan_bin[j].watch_index == idx) ++j;
+    auto& list = bin_watches_[idx];
+    reserve_amortized(list, list.size() + (j - i));
+    for (; i < j; ++i) {
+      const StreamWatchOp& op = plan_bin[i];
+      if (!stream_fast_[op.clause]) continue;
+      list.push_back(
+          {Lit::from_index(static_cast<int>(op.other_index)), /*learnt=*/0u});
+    }
+  }
+}
+
+std::vector<Clause> Solver::snapshot_clauses() const {
+  std::vector<Clause> out;
+  for (std::size_t i = 0; i < root_trail_size(); ++i) {
+    out.push_back(Clause{trail_[i]});
+  }
+  for (std::size_t idx = 0; idx < bin_watches_.size(); ++idx) {
+    const Lit a = ~Lit::from_index(static_cast<int>(idx));
+    for (const BinWatcher& w : bin_watches_[idx]) {
+      if (w.learnt) continue;
+      if (a < w.implied) out.push_back(Clause{a, w.implied});
+    }
+  }
+  for (const CRef c : clauses_) {
+    if (arena_.deleted(c)) continue;
+    Clause lits;
+    lits.reserve(arena_.size(c));
+    for (std::uint32_t i = 0; i < arena_.size(c); ++i) {
+      lits.push_back(arena_.lit(c, i));
+    }
+    std::sort(lits.begin(), lits.end());
+    out.push_back(std::move(lits));
+  }
+  return out;
 }
 
 bool Solver::block_model(Clause lits) {

@@ -67,6 +67,30 @@ struct SharedClause {
   unsigned lbd = 0;
 };
 
+/// One deferred watch attachment of a stamped clause stream: push clause
+/// number `clause`'s watcher onto watch list `watch_index`, with
+/// `other_index` the Lit::index() of the other watched literal (the blocker
+/// for long clauses, the implied literal for binaries). Streams carry these
+/// pre-sorted by watch_index so Solver::add_clause_stream can fill each
+/// watch list in one contiguous run instead of 2·|clauses| random appends —
+/// the dominant cost of bulk instance construction (see clause_stream.hpp).
+///
+/// `arena_offset` is the clause's word offset within the stream's arena
+/// segment assuming no clause simplifies away (kStampClauseOverhead words of
+/// header per clause): the pristine loader resolves an op's clause reference
+/// as segment base + arena_offset, with no per-clause bookkeeping. Zero for
+/// binary ops (binaries live outside the arena).
+struct StreamWatchOp {
+  std::uint32_t watch_index;
+  std::uint32_t other_index;
+  std::uint32_t clause;
+  std::uint32_t arena_offset;
+};
+
+/// Arena words per clause beyond its literals, fixed by the solver's clause
+/// layout; stream builders use it to precompute StreamWatchOp::arena_offset.
+inline constexpr std::uint32_t kStampClauseOverhead = 3;
+
 /// Budgets and thresholds of the inprocessing pipeline. The defaults suit
 /// the diagnosis workloads; tests shrink the intervals to force the pipeline
 /// onto tiny formulas.
@@ -110,6 +134,21 @@ class Solver {
   Var new_var(bool decidable = true, bool default_phase = false);
   int num_vars() const { return static_cast<int>(assigns_.size()); }
 
+  /// Pre-extend every per-variable array for `extra` upcoming new_var calls
+  /// (one reallocation instead of ~13 amortized growths per variable). Used
+  /// by the template-stamping path, which knows each copy's variable count
+  /// up front.
+  void reserve_vars(std::size_t extra);
+
+  /// Batch variable allocation: equivalent to flags.size() new_var calls but
+  /// with one resize of every per-variable array instead of ~17 push_backs
+  /// per variable. Bit 0 of a flag marks the variable decidable (entering
+  /// the order heap with zero activity, an O(1) max-heap append), bit 1
+  /// frozen; phases start false. Returns the first new variable.
+  static constexpr std::uint8_t kVarDecidable = 1;
+  static constexpr std::uint8_t kVarFrozen = 2;
+  Var new_vars(std::span<const std::uint8_t> flags);
+
   /// Add a clause; returns false when the formula is already UNSAT at the
   /// root level. Literals may be unsorted and contain duplicates. When
   /// called with a search trail left over from a satisfiable solve() the
@@ -118,6 +157,65 @@ class Solver {
   bool add_clause(Lit a) { return add_clause(Clause{a}); }
   bool add_clause(Lit a, Lit b) { return add_clause(Clause{a, b}); }
   bool add_clause(Lit a, Lit b, Lit c) { return add_clause(Clause{a, b, c}); }
+
+  /// Bulk-load path for stamped clause templates: `lits` is the concatenated
+  /// literal stream, `sizes` the clause lengths in order. Semantically
+  /// equivalent to one add_clause call per clause — root-satisfied clauses
+  /// are dropped, root-false literals stripped, shrunken units enqueued and
+  /// propagated in sequence — but with no per-clause allocation or sorting.
+  ///
+  /// `plan_long`/`plan_bin` are the stream's watch attachments (two per
+  /// clause of size >= 3 resp. == 2), sorted by watch_index, with literal
+  /// indices already relocated to this solver's variables. Clauses whose
+  /// literals are all unassigned at the root — the entire stream in the
+  /// common instance-construction case — have their watchers appended
+  /// list-by-list from the plan after the arena pass, turning the random
+  /// watch-list appends (the dominant bulk-load cost) into sequential runs
+  /// with one capacity reservation each. A clause the root trail shortens is
+  /// attached immediately instead and its plan ops are skipped; the first
+  /// clause that *enqueues* (a unit) flushes the plan, propagates, and drops
+  /// the remainder of the stream to the clause-at-a-time path so every later
+  /// clause sees the propagated values exactly as a sequence of add_clause
+  /// calls would.
+  ///
+  /// Preconditions (guaranteed by ClauseStream normalization/relocation): no
+  /// clause contains duplicate or complementary literals, and the plans list
+  /// every size >= 2 clause of the stream. Returns false when the formula
+  /// becomes UNSAT at the root.
+  bool add_clause_stream(std::span<const Lit> lits,
+                         std::span<const std::uint32_t> sizes,
+                         std::span<const StreamWatchOp> plan_long,
+                         std::span<const StreamWatchOp> plan_bin);
+
+  /// Pristine template stamping, fused with relocation: `codes` are
+  /// unrelocated stream codes ((var << 1) | sign) where var < extern_base
+  /// is a stream-local variable (resolved to local_base + var) and var >=
+  /// extern_base maps through extern_vars[var - extern_base]. The caller
+  /// guarantees that no resolved literal is assigned at the root (fresh
+  /// copy variables plus unassigned extern variables — see any_assigned)
+  /// and that every clause has size >= 2: nothing simplifies or propagates,
+  /// so the load skips value checks, fills the arena in one swept resize,
+  /// and attaches watches straight from the sorted plan — no intermediate
+  /// relocation buffers, no per-clause bookkeeping. This is the standard
+  /// instance-construction case; streams with units or assigned externs go
+  /// through add_clause_stream instead.
+  bool add_stamped_stream(std::span<const std::uint32_t> codes,
+                          std::span<const std::uint32_t> sizes,
+                          std::span<const StreamWatchOp> plan_long,
+                          std::span<const StreamWatchOp> plan_bin,
+                          Var local_base, Var extern_base,
+                          std::span<const Var> extern_vars);
+
+  /// True when any of `vars` is assigned at the root level — the template
+  /// stamping path probes its extern (select) variables with this to decide
+  /// whether the pristine bulk load applies.
+  bool any_assigned(std::span<const Var> vars) const;
+
+  /// Snapshot of the irredundant clause database — the binary layer plus
+  /// non-learnt arena clauses, with root-level trail literals included as
+  /// unit clauses. Every clause comes out sorted. For differential tests
+  /// (walk-vs-stamp instance equality) and external tooling; not a hot path.
+  std::vector<Clause> snapshot_clauses() const;
 
   /// Enumeration fast path: add a clause whose literals are all false under
   /// the current model (a blocking clause) *without* resetting the search.
@@ -372,6 +470,10 @@ class Solver {
 
   void attach_clause(CRef c);
   void attach_binary(Lit a, Lit b, bool learnt);
+  /// Apply the deferred watch attachments of the current clause stream
+  /// (clauses with stream_fast_ set), one sorted run per watch list.
+  void apply_stream_plan(std::span<const StreamWatchOp> plan_long,
+                         std::span<const StreamWatchOp> plan_bin);
   void detach_clause(CRef c);
   void remove_clause(CRef c);
   void unchecked_enqueue(Lit p, CRef reason);
@@ -479,6 +581,13 @@ class Solver {
   std::vector<Lit> conflict_;
   std::vector<LBool> model_;
   ExtendStack extend_;
+
+  // add_clause_stream scratch: the per-clause filter buffer plus the
+  // deferred-attach state (per stream clause: its arena reference and
+  // whether its plan ops apply).
+  std::vector<Lit> stream_clause_;
+  std::vector<CRef> stream_crefs_;
+  std::vector<std::uint8_t> stream_fast_;
 
   // analyze() scratch
   std::vector<bool> seen_;

@@ -53,6 +53,17 @@ class CompiledNetlist {
  public:
   explicit CompiledNetlist(const Netlist& nl);
 
+  /// Rebind-copy: adopt another compilation's opcode stream for a
+  /// structurally identical netlist (same gate types, fanins, and topo
+  /// order — e.g. a copy of a cached golden circuit) without re-flattening.
+  CompiledNetlist(const Netlist& nl, const CompiledNetlist& prototype)
+      : nl_(&nl),
+        instrs_(prototype.instrs_),
+        fanin_csr_(prototype.fanin_csr_),
+        comb_topo_(prototype.comb_topo_) {
+    assert(nl.size() == prototype.nl_->size());
+  }
+
   const Netlist& netlist() const { return *nl_; }
 
   /// Opcode for evaluating `type` at the given fan-in count. Unary AND/OR/

@@ -6,15 +6,25 @@ namespace satdiag {
 
 ParallelSimulator::ParallelSimulator(const Netlist& nl)
     : nl_(&nl), compiled_(nl), worklist_(nl) {
-  const std::size_t n = nl.size();
+  init_planes();
+}
+
+ParallelSimulator::ParallelSimulator(const Netlist& nl,
+                                     const CompiledNetlist& prototype)
+    : nl_(&nl), compiled_(nl, prototype), worklist_(nl) {
+  init_planes();
+}
+
+void ParallelSimulator::init_planes() {
+  const std::size_t n = nl_->size();
   values_.assign(n, 0);
   has_value_override_.assign(n, 0);
   value_override_.assign(n, 0);
   on_override_trail_.assign(n, 0);
   eval_type_.resize(n);
   for (GateId g = 0; g < n; ++g) {
-    eval_type_[g] = nl.type(g);
-    if (nl.type(g) == GateType::kConst1) values_[g] = ~0ULL;
+    eval_type_[g] = nl_->type(g);
+    if (nl_->type(g) == GateType::kConst1) values_[g] = ~0ULL;
   }
 }
 

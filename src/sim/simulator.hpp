@@ -33,6 +33,11 @@ class ParallelSimulator {
  public:
   explicit ParallelSimulator(const Netlist& nl);
 
+  /// Construct by rebinding a cached compilation of a structurally
+  /// identical netlist (see CompiledNetlist's rebind-copy constructor) —
+  /// skips the flattening walk.
+  ParallelSimulator(const Netlist& nl, const CompiledNetlist& prototype);
+
   const Netlist& netlist() const { return *nl_; }
 
   /// Assign the 64-pattern word of a source gate (input or DFF output).
@@ -77,6 +82,7 @@ class ParallelSimulator {
   std::span<const std::uint64_t> values() const { return values_; }
 
  private:
+  void init_planes();
   std::uint64_t exec(GateId g) const;
   void schedule(GateId g);
   void schedule_fanouts(GateId g);

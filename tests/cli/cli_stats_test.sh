@@ -16,18 +16,30 @@ out="$("$CLI" diagnose "$TMP/faulty.bench" --tests "$TMP/tests.txt" \
     --approach bsat --stats)"
 for counter in conflicts decisions propagations binary_propagations restarts \
     inprocess_runs subsumed strengthened vivified vars_eliminated \
-    failed_literals learnts_exported learnts_imported; do
+    failed_literals learnts_exported learnts_imported \
+    cache_hits cache_misses cache_evictions cache_bytes \
+    templates_built copies_stamped clauses_stamped; do
   if ! grep -q "${counter}:" <<< "$out"; then
-    echo "missing solver counter '${counter}' in --stats output:" >&2
+    echo "missing counter '${counter}' in --stats output:" >&2
     echo "$out" >&2
     exit 1
   fi
 done
 
+# The default template-stamped builder must actually have stamped: one
+# template for the single full-universe instance, one stamped copy per test.
+if grep -qE "copies_stamped: *0\$" <<< "$out"; then
+  echo "expected a non-zero copies_stamped counter:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
 hybrid_out="$("$CLI" diagnose "$TMP/faulty.bench" --tests "$TMP/tests.txt" \
     --approach hybrid --stats)"
 grep -q "binary_propagations:" <<< "$hybrid_out"
 grep -q "tier_core/mid/local:" <<< "$hybrid_out"
+grep -q "cache_misses:" <<< "$hybrid_out"
+grep -q "copies_stamped:" <<< "$hybrid_out"
 
 # Simulation-only approaches have no solver stats to print.
 if "$CLI" diagnose "$TMP/faulty.bench" --tests "$TMP/tests.txt" \

@@ -47,6 +47,14 @@ BENCHES = {
          "--max-solutions", "2000", "--seed", "1", "--threads", "8",
          "--json"],
     ),
+    # Construction-bound: walk vs template-stamped instance building on a
+    # table2-scale multi-test instance (cold = empty artifact cache, warm =
+    # templates cached). The driver also verifies walk/stamp DB identity.
+    "instance_build": (
+        "bench_instance_build",
+        ["--circuit", "s38417_like", "--scale", "1.0", "--errors", "2",
+         "--tests", "32", "--seed", "1", "--rounds", "3", "--json"],
+    ),
     # Solver-bound: the advanced-SAT ablation (four BSAT variants).
     "ablation_advanced_sat": (
         "bench_ablation_advanced_sat",

@@ -31,6 +31,8 @@
 
 #include "bench/bench_parser.hpp"
 #include "bench/bench_writer.hpp"
+#include "cache/artifact_cache.hpp"
+#include "cnf/clause_stream.hpp"
 #include "diag/bsat.hpp"
 #include "diag/cover.hpp"
 #include "diag/hybrid.hpp"
@@ -107,6 +109,28 @@ void print_solver_stats(const sat::Solver::Stats& st) {
               static_cast<unsigned long long>(st.tier_core),
               static_cast<unsigned long long>(st.tier_mid),
               static_cast<unsigned long long>(st.tier_local));
+}
+
+/// Instance-construction counters: the artifact cache feeding compile
+/// products to the pipeline and the ClauseStream template stamper.
+void print_pipeline_stats() {
+  const cache::ArtifactCache::Stats cs = cache::ArtifactCache::global().stats();
+  const ClauseStreamStats ts = clause_stream_stats();
+  std::printf("pipeline stats:\n");
+  std::printf("  cache_hits:          %llu\n",
+              static_cast<unsigned long long>(cs.hits));
+  std::printf("  cache_misses:        %llu\n",
+              static_cast<unsigned long long>(cs.misses));
+  std::printf("  cache_evictions:     %llu\n",
+              static_cast<unsigned long long>(cs.evictions));
+  std::printf("  cache_bytes:         %llu\n",
+              static_cast<unsigned long long>(cs.bytes));
+  std::printf("  templates_built:     %llu\n",
+              static_cast<unsigned long long>(ts.templates_built));
+  std::printf("  copies_stamped:      %llu\n",
+              static_cast<unsigned long long>(ts.copies_stamped));
+  std::printf("  clauses_stamped:     %llu\n",
+              static_cast<unsigned long long>(ts.clauses_stamped));
 }
 
 void print_solutions(const Netlist& nl,
@@ -264,7 +288,10 @@ int cmd_diagnose(const CliArgs& args) {
                 result.solutions.size(), result.complete ? "" : " (truncated)",
                 result.build_seconds, result.all_seconds);
     print_solutions(nl, result.solutions);
-    if (want_stats) print_solver_stats(result.solver_stats);
+    if (want_stats) {
+      print_solver_stats(result.solver_stats);
+      print_pipeline_stats();
+    }
     return 0;
   }
   if (approach == "hybrid") {
@@ -279,7 +306,10 @@ int cmd_diagnose(const CliArgs& args) {
                 result.solutions.size(), result.sim_seconds,
                 result.sat_seconds);
     print_solutions(nl, result.solutions);
-    if (want_stats) print_solver_stats(result.solver_stats);
+    if (want_stats) {
+      print_solver_stats(result.solver_stats);
+      print_pipeline_stats();
+    }
     return 0;
   }
   return fail("unknown approach '" + approach + "'");
