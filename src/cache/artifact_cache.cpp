@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace satdiag::cache {
 
 namespace {
@@ -99,6 +102,10 @@ std::shared_ptr<const void> ArtifactCache::get_or_build_erased(
     ++hits_;
     auto future = it->second.future;  // survives eviction of the entry
     lk.unlock();
+    // The span covers the wait on an in-flight build too — a "hit" that
+    // blocks shows up as a long cache.hit next to another thread's
+    // cache.build in the trace.
+    obs::Span span("cache.hit");
     return future.get();  // blocks while the first caller is still building
   }
   ++misses_;
@@ -111,6 +118,10 @@ std::shared_ptr<const void> ArtifactCache::get_or_build_erased(
 
   Erased built;
   try {
+    static obs::Counter& builds =
+        obs::MetricsRegistry::global().counter("cache.builds");
+    builds.add(1);
+    obs::Span span("cache.build");
     built = build();
   } catch (...) {
     lk.lock();

@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "cnf/tseitin.hpp"
+#include "obs/trace.hpp"
 
 namespace satdiag {
 
@@ -81,6 +82,8 @@ ClauseStream build_copy_template(const Netlist& nl,
                                  const std::vector<bool>& instrumented,
                                  bool gating_clauses,
                                  bool internal_decisions) {
+  obs::Span span("cnf.template_build", "gates",
+                 static_cast<std::int64_t>(nl.size()));
   assert(nl.finalized());
   assert(instrumented.size() == nl.size());
   assert(cone == nullptr || cone->size() == nl.size());
@@ -192,6 +195,8 @@ ClauseStream build_copy_template(const Netlist& nl,
 sat::Var stamp_clause_stream(sat::Solver& solver, const ClauseStream& ts,
                              std::span<const sat::Var> extern_vars,
                              StampScratch& scratch) {
+  obs::Span span("cnf.stamp_copy", "clauses",
+                 static_cast<std::int64_t>(ts.sizes.size()));
   assert(extern_vars.size() == ts.extern_gates.size());
   static_assert(ClauseStream::kDecidable == sat::Solver::kVarDecidable &&
                 ClauseStream::kFrozen == sat::Solver::kVarFrozen);

@@ -9,6 +9,7 @@
 #include "cache/artifact_cache.hpp"
 #include "cnf/clause_stream.hpp"
 #include "netlist/analysis.hpp"
+#include "obs/trace.hpp"
 
 namespace satdiag {
 
@@ -267,6 +268,8 @@ DiagnosisInstance build_stamped_instance(
 DiagnosisInstance build_diagnosis_instance(
     const Netlist& nl, const TestSet& tests,
     const DiagnosisInstanceOptions& options) {
+  obs::Span span("cnf.build_instance", "tests",
+                 static_cast<std::int64_t>(tests.size()));
   assert(nl.finalized());
   assert(!tests.empty());
   if (options.template_stamped) {

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cassert>
 #include <memory>
+#include <optional>
 #include <set>
 
 #include "exec/parallel.hpp"
 #include "netlist/analysis.hpp"
+#include "obs/trace.hpp"
 
 namespace satdiag {
 namespace {
@@ -40,7 +42,16 @@ BsatResult serial_sat_diagnose(const Netlist& nl, const TestSet& tests,
   DiagnosisInstanceOptions inst_options = options.instance;
   inst_options.max_k = options.k;
   inst_options.cone_of_influence = options.cone_of_influence;
-  DiagnosisInstance inst = build_diagnosis_instance(nl, tests, inst_options);
+  // Declared before the instance so instance teardown at function exit is
+  // still inside the enumerate phase (the report's phase split is expected
+  // to account for (nearly) the whole run).
+  obs::Span enumerate_span(obs::Span::kDeferred);
+  std::optional<DiagnosisInstance> inst_holder;
+  {
+    obs::Span build_span("phase.build");
+    inst_holder.emplace(build_diagnosis_instance(nl, tests, inst_options));
+  }
+  DiagnosisInstance& inst = *inst_holder;
   sat::Solver& solver = inst.solver;
   result.build_seconds = build_timer.seconds();
   result.num_vars = static_cast<std::size_t>(solver.num_vars());
@@ -51,6 +62,7 @@ BsatResult serial_sat_diagnose(const Netlist& nl, const TestSet& tests,
                          nl.size());
   }
 
+  enumerate_span.open("phase.enumerate");
   Timer solve_timer;
   bool first_recorded = false;
   // Index of the current bound's first solution: each bound's slice is
@@ -66,6 +78,7 @@ BsatResult serial_sat_diagnose(const Netlist& nl, const TestSet& tests,
     result.solver_stats = solver.stats();
   };
   for (unsigned bound = 1; bound <= options.k; ++bound) {
+    obs::Span bound_span("bsat.bound", "bound", bound);
     const auto assumptions = inst.assume_at_most(bound);
     bound_start = result.solutions.size();
     for (;;) {
@@ -141,6 +154,9 @@ BsatResult parallel_sat_diagnose(const Netlist& nl, const TestSet& tests,
                                  const BsatOptions& options,
                                  const std::vector<GateId>& universe) {
   BsatResult result;
+  // Covers shard teardown and the pool join at function exit (see the
+  // serial path for the ordering rationale).
+  obs::Span enumerate_span(obs::Span::kDeferred);
   // Ceil division twice: first the partition width for the requested lane
   // count, then the number of shards that width actually fills — e.g. 9
   // gates on 8 lanes give width 2 and only 5 shards, never a shard whose
@@ -155,6 +171,7 @@ BsatResult parallel_sat_diagnose(const Netlist& nl, const TestSet& tests,
   std::vector<BsatShard> shards(num_shards);
 
   Timer build_timer;
+  obs::Span build_span("phase.build");
   exec::parallel_for(
       pool, num_shards,
       [&](std::size_t s, std::size_t) {
@@ -197,6 +214,7 @@ BsatResult parallel_sat_diagnose(const Netlist& nl, const TestSet& tests,
         }
       },
       /*grain=*/1);
+  build_span.close();
   result.build_seconds = build_timer.seconds();
   // Every shard stamps its copies from the SAME cached ClauseStream
   // template: the first shard to miss the artifact cache runs the encoder
@@ -219,11 +237,13 @@ BsatResult parallel_sat_diagnose(const Netlist& nl, const TestSet& tests,
       static_cast<std::size_t>(shards[0].inst->solver.num_vars());
   result.num_clauses = shards[0].inst->solver.num_clauses();
 
+  enumerate_span.open("phase.enumerate");
   Timer solve_timer;
   bool first_recorded = false;
   std::atomic<std::int64_t> total_found{0};
   std::atomic<bool> truncated{false};
   for (unsigned bound = 1; bound <= options.k; ++bound) {
+    obs::Span bound_span("bsat.bound", "bound", bound);
     exec::parallel_for(
         pool, num_shards,
         [&](std::size_t s, std::size_t) {

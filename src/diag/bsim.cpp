@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "diag/xlist.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace satdiag {
@@ -46,6 +47,8 @@ BsimResult basic_sim_diagnose(const Netlist& nl, const TestSet& tests,
   result.candidate_sets.resize(tests.size());
 
   ParallelSimulator sim(nl);
+  obs::Span sweep_span("bsim.sweep", "tests",
+                       static_cast<std::int64_t>(tests.size()));
   for (std::size_t base = 0; base < tests.size(); base += 64) {
     const std::size_t batch = std::min<std::size_t>(64, tests.size() - base);
     for (std::size_t b = 0; b < batch; ++b) {

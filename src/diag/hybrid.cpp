@@ -4,6 +4,7 @@
 #include <set>
 
 #include "netlist/analysis.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace satdiag {
@@ -22,16 +23,19 @@ HybridResult hybrid_diagnose(const Netlist& nl, const TestSet& tests,
   bsat.num_threads = options.num_threads;
 
   if (options.mode == HybridMode::kSeedActivity) {
+    obs::Span sim_span("phase.sim");
     const BsimResult bsim =
         basic_sim_diagnose(nl, tests, options.trace_options, rng);
     bsat.select_activity_seed = bsim.mark_count;
     result.sim_seconds = sim_timer.seconds();
   } else {
+    obs::Span sim_span("phase.sim");
     CovOptions cov;
     cov.k = options.k;
     cov.deadline = options.deadline;
     const CovResult covers =
         sc_diagnose(nl, tests, cov, options.trace_options, rng);
+    sim_span.close();
     result.sim_seconds = sim_timer.seconds();
 
     // Instrument the covered gates plus an undirected structural

@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace satdiag::exec {
@@ -67,15 +69,27 @@ void run_shards(ThreadPool& pool, const ShardPlan& plan, ShardBody&& body) {
   if (num_shards == 0) return;
   std::vector<std::exception_ptr> errors(num_shards);
   std::atomic<std::size_t> next{0};
+  // Registration is cold; the references stay valid for process lifetime.
+  static obs::Counter& shards_run =
+      obs::MetricsRegistry::global().counter("exec.shards_run");
+  static constexpr std::uint64_t kShardUsBounds[] = {10,    100,    1000,
+                                                     10000, 100000, 1000000};
+  static obs::Histogram& shard_us =
+      obs::MetricsRegistry::global().histogram("exec.shard_us", kShardUsBounds);
   pool.run_on_all([&](std::size_t lane) {
     for (;;) {
       const std::size_t shard = next.fetch_add(1, std::memory_order_relaxed);
       if (shard >= num_shards) return;
+      obs::Span span("exec.shard", "shard", static_cast<std::int64_t>(shard),
+                     "lane", static_cast<std::int64_t>(lane));
+      const std::uint64_t t0 = obs::trace_now_ns();
       try {
         body(shard, lane);
       } catch (...) {
         errors[shard] = std::current_exception();
       }
+      shards_run.add(1);
+      shard_us.observe((obs::trace_now_ns() - t0) / 1000);
     }
   });
   for (const std::exception_ptr& error : errors) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/logging.hpp"
+
 namespace satdiag::exec {
 
 ThreadPool::ThreadPool(std::size_t num_threads)
@@ -22,6 +24,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_main(std::size_t lane) {
+  set_log_lane(static_cast<int>(lane));
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(std::size_t)>* task = nullptr;
@@ -61,13 +64,17 @@ void ThreadPool::run_on_all(const std::function<void(std::size_t)>& task) {
   work_cv_.notify_all();
 
   // The caller is lane 0; its exception is stored like any worker's so the
-  // lowest-lane rethrow rule below treats all lanes uniformly.
+  // lowest-lane rethrow rule below treats all lanes uniformly. Its log-lane
+  // tag is scoped to the task: the caller thread outlives the pool.
   std::exception_ptr lane0_error;
+  const int prev_lane = log_lane();
+  set_log_lane(0);
   try {
     task(0);
   } catch (...) {
     lane0_error = std::current_exception();
   }
+  set_log_lane(prev_lane);
 
   if (lanes_ > 1) {
     std::unique_lock<std::mutex> lock(mutex_);

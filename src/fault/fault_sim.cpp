@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "exec/parallel.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace satdiag {
@@ -31,6 +32,8 @@ StuckAtFaultSimResult simulate_stuck_at_faults(
   exec::LaneLocal<ParallelSimulator> lane_sim(pool.num_threads());
 
   for (std::size_t round = 0; round < options.rounds; ++round) {
+    obs::Span round_span("fault_sim.round", "round",
+                         static_cast<std::int64_t>(round));
     // Input words come from the caller's Rng serially, outside the parallel
     // region: the pattern stream is identical to the serial driver's.
     for (GateId in : nl.inputs()) prototype.set_source(in, rng.next_u64());

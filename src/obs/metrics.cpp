@@ -1,0 +1,176 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace satdiag::obs {
+
+namespace detail {
+std::size_t shard_hint() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t hint =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return hint;
+}
+}  // namespace detail
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> totals(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (std::size_t b = 0; b < totals.size(); ++b) {
+      totals[b] += shard->buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return totals;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : bucket_counts()) total += c;
+  return total;
+}
+
+std::uint64_t Histogram::sum() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Metric m{MetricKind::kCounter, std::make_unique<Counter>(), nullptr,
+             nullptr};
+    it = metrics_.emplace(std::string(name), std::move(m)).first;
+  } else if (it->second.kind != MetricKind::kCounter) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered with a different kind");
+  }
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Metric m{MetricKind::kGauge, nullptr, std::make_unique<Gauge>(), nullptr};
+    it = metrics_.emplace(std::string(name), std::move(m)).first;
+  } else if (it->second.kind != MetricKind::kGauge) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered with a different kind");
+  }
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const std::uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Metric m{MetricKind::kHistogram, nullptr, nullptr,
+             std::make_unique<Histogram>(bounds)};
+    it = metrics_.emplace(std::string(name), std::move(m)).first;
+  } else if (it->second.kind != MetricKind::kHistogram) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered with a different kind");
+  }
+  return *it->second.histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> samples;
+  samples.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = metric.kind;
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        sample.counter = metric.counter->value();
+        break;
+      case MetricKind::kGauge:
+        sample.gauge = metric.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *metric.histogram;
+        const std::vector<std::uint64_t> counts = h.bucket_counts();
+        for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+          sample.buckets.emplace_back(h.bounds()[b], counts[b]);
+        }
+        sample.overflow = counts.back();
+        sample.hist_count = h.count();
+        sample.hist_sum = h.sum();
+        break;
+      }
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+void MetricsRegistry::write_json(std::ostream& out, int indent) const {
+  const std::vector<MetricSample> samples = snapshot();
+  JsonWriter w(out, indent);
+  w.begin_object();
+  for (const MetricSample& sample : samples) {
+    w.key(sample.name);
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        w.value(sample.counter);
+        break;
+      case MetricKind::kGauge:
+        w.value(sample.gauge);
+        break;
+      case MetricKind::kHistogram:
+        w.begin_object();
+        w.key("buckets");
+        w.begin_array();
+        for (const auto& [bound, count] : sample.buckets) {
+          w.begin_object();
+          w.kv("le", bound);
+          w.kv("count", count);
+          w.end_object();
+        }
+        w.begin_object();
+        w.key("le");
+        w.value("inf");
+        w.kv("count", sample.overflow);
+        w.end_object();
+        w.end_array();
+        w.kv("count", sample.hist_count);
+        w.kv("sum", sample.hist_sum);
+        w.end_object();
+        break;
+    }
+  }
+  w.end_object();
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, metric] : metrics_) {
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        metric.counter->reset();
+        break;
+      case MetricKind::kGauge:
+        metric.gauge->set(0);
+        break;
+      case MetricKind::kHistogram:
+        metric.histogram->reset();
+        break;
+    }
+  }
+}
+
+}  // namespace satdiag::obs

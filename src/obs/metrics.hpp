@@ -1,0 +1,182 @@
+// MetricsRegistry — the process-wide counters/gauges/histograms substrate
+// (ISSUE 9 tentpole; ROADMAP item 2's stats-endpoint prerequisite).
+//
+// One registration API with stable dotted names ("sat.conflicts",
+// "cache.hits", "exec.shards_run", ...) replaces the scattered per-subsystem
+// stats structs as the *reporting* surface: hot engines keep their own local
+// counters (sat::Solver::Stats stays the per-solve source of truth — no
+// atomic traffic inside BCP) and publish into the registry at merge points,
+// while coarse-grained producers (exec shards, cache builds) increment
+// registry metrics directly.
+//
+// Concurrency: Counter and Histogram are lock-free sharded — each thread
+// hashes to one of kShards cache-line-padded atomic lanes, adds are relaxed
+// atomic fetch_adds, and value() aggregates the lanes on read. Gauge is a
+// single atomic. Registration takes a mutex (cold path); the returned
+// references are stable for the registry's lifetime, so call sites cache
+// them in function-local statics.
+//
+// Determinism contract: metrics are write-mostly observability state; no
+// engine reads them back, so they can never perturb results (the thread-
+// invariance tests stay bit-identical with metrics on).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace satdiag::obs {
+
+namespace detail {
+/// Small per-thread shard hint: threads are striped over the counter lanes
+/// in first-use order, so a thread pool's lanes never contend on one line.
+std::size_t shard_hint();
+}  // namespace detail
+
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t n = 1) {
+    shards_[detail::shard_hint() & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram over non-negative integer samples (counts,
+/// microseconds, ...). Bucket i counts samples <= bounds[i]; one implicit
+/// overflow bucket collects the rest. Buckets and the running sum/count are
+/// sharded like Counter.
+class Histogram {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  explicit Histogram(std::span<const std::uint64_t> bounds)
+      : bounds_(bounds.begin(), bounds.end()),
+        shards_(kShards) {
+    for (auto& shard : shards_) {
+      shard = std::make_unique<Shard>(bounds_.size() + 1);
+    }
+  }
+
+  void observe(std::uint64_t sample) {
+    std::size_t b = 0;
+    while (b < bounds_.size() && sample > bounds_[b]) ++b;
+    Shard& shard = *shards_[detail::shard_hint() % kShards];
+    shard.buckets[b].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(sample, std::memory_order_relaxed);
+  }
+
+  void reset() {
+    for (auto& shard : shards_) {
+      for (auto& bucket : shard->buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+      shard->sum.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+  /// Aggregated bucket counts (bounds().size() + 1 entries, last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const;
+  std::uint64_t sum() const;
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t n) : buckets(n) {}
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Point-in-time view of one metric, as produced by snapshot().
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter = 0;  // kCounter
+  std::int64_t gauge = 0;     // kGauge
+  // kHistogram: per-bucket (upper bound, count) pairs + overflow/sum/count.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  std::uint64_t overflow = 0;
+  std::uint64_t hist_count = 0;
+  std::uint64_t hist_sum = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem publishes into.
+  static MetricsRegistry& global();
+
+  /// Register-or-fetch by stable dotted name. The same name always returns
+  /// the same object; requesting an existing name as a different kind
+  /// throws std::logic_error (name collisions are registration bugs).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::span<const std::uint64_t> bounds);
+
+  /// Name-sorted point-in-time samples of every registered metric.
+  std::vector<MetricSample> snapshot() const;
+
+  /// The report's "metrics" section: one flat JSON object keyed by dotted
+  /// name; histograms expand to {"buckets": [...], "count": n, "sum": s}.
+  void write_json(std::ostream& out, int indent = 2) const;
+
+  /// Zero every counter/gauge/histogram (tests; names stay registered).
+  void reset_values();
+
+ private:
+  struct Metric {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  // std::map keeps snapshot()/write_json() name-sorted for free; node-based
+  // storage keeps metric addresses stable across registrations.
+  mutable std::mutex mu_;
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+}  // namespace satdiag::obs

@@ -1,0 +1,217 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/json.hpp"
+
+namespace satdiag::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::size_t> g_ring_capacity{1 << 16};
+std::atomic<std::uint64_t> g_dropped{0};
+// Bumped by reset_tracing(); threads holding a ring from an older generation
+// re-acquire, so a reset mid-process does not strand the main thread's
+// events in an orphaned ring.
+std::atomic<std::uint64_t> g_generation{1};
+
+/// One thread's event ring. Written only by the owning thread; read by the
+/// drain functions after that thread has quiesced (joined or known idle).
+struct ThreadRing {
+  explicit ThreadRing(std::size_t capacity_, std::uint32_t tid_)
+      : capacity(capacity_), tid(tid_) {
+    // reserve, don't size: pre-zeroing a multi-MB ring up front would put a
+    // milliseconds-scale hiccup on the first span of every thread.
+    events.reserve(capacity);
+  }
+  std::size_t capacity;
+  std::vector<TraceEvent> events;  // grows to capacity, then wraps
+  std::size_t head = 0;            // next overwrite slot once full
+  std::uint64_t pushed = 0;        // total pushes (>= events retained)
+  std::uint32_t tid = 0;
+
+  void push(const TraceEvent& e) {
+    if (events.size() < capacity) {
+      events.push_back(e);
+    } else {
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+      events[head] = e;
+      head = (head + 1) % events.size();
+    }
+    ++pushed;
+  }
+
+  /// Retained events, oldest first.
+  void append_ordered(std::vector<TraceEvent>& out) const {
+    const std::size_t n = events.size();
+    // Oldest retained event sits at head once the ring has wrapped.
+    const std::size_t start = pushed > n ? head : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(events[(start + i) % n]);
+    }
+  }
+};
+
+struct RingDirectory {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::uint32_t next_tid = 0;
+};
+
+RingDirectory& directory() {
+  static RingDirectory* dir = new RingDirectory();  // never destroyed
+  return *dir;
+}
+
+std::shared_ptr<ThreadRing>& thread_ring_slot() {
+  thread_local std::shared_ptr<ThreadRing> ring;
+  return ring;
+}
+
+ThreadRing& thread_ring() {
+  thread_local std::uint64_t seen_generation = 0;
+  auto& slot = thread_ring_slot();
+  const std::uint64_t generation = g_generation.load(std::memory_order_acquire);
+  if (!slot || seen_generation != generation) {
+    RingDirectory& dir = directory();
+    std::lock_guard<std::mutex> lock(dir.mu);
+    slot = std::make_shared<ThreadRing>(
+        std::max<std::size_t>(1, g_ring_capacity.load()), dir.next_tid++);
+    dir.rings.push_back(slot);
+    seen_generation = generation;
+  }
+  return *slot;
+}
+
+std::vector<TraceEvent> collect_events_locked() {
+  RingDirectory& dir = directory();
+  std::lock_guard<std::mutex> lock(dir.mu);
+  std::vector<TraceEvent> events;
+  for (const auto& ring : dir.rings) ring->append_ordered(events);
+  return events;
+}
+
+/// (event, tid) pairs for the trace writer.
+std::vector<std::pair<TraceEvent, std::uint32_t>> collect_with_tids() {
+  RingDirectory& dir = directory();
+  std::lock_guard<std::mutex> lock(dir.mu);
+  std::vector<std::pair<TraceEvent, std::uint32_t>> events;
+  for (const auto& ring : dir.rings) {
+    std::vector<TraceEvent> ordered;
+    ring->append_ordered(ordered);
+    for (const TraceEvent& e : ordered) events.emplace_back(e, ring->tid);
+  }
+  return events;
+}
+
+}  // namespace
+
+std::uint64_t trace_now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+bool tracing_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_tracing_enabled(bool enabled) {
+  trace_now_ns();  // pin the epoch no later than the first enabled span
+  g_enabled.store(enabled, std::memory_order_relaxed);
+  // Create the calling thread's ring now so its first span doesn't pay the
+  // reserve() inside a timed region (worker threads still pay theirs on
+  // first use, amortized across a whole shard).
+  if (enabled) thread_ring();
+}
+
+void set_ring_capacity(std::size_t events) {
+  g_ring_capacity.store(std::max<std::size_t>(1, events));
+}
+
+std::size_t ring_capacity() { return g_ring_capacity.load(); }
+
+void reset_tracing() {
+  RingDirectory& dir = directory();
+  std::lock_guard<std::mutex> lock(dir.mu);
+  dir.rings.clear();
+  dir.next_tid = 0;
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_generation.fetch_add(1, std::memory_order_release);
+}
+
+void Span::finish() {
+  TraceEvent e;
+  e.name = name_;
+  e.start_ns = start_ns_;
+  e.dur_ns = trace_now_ns() - start_ns_;
+  e.arg1_name = arg1_name_;
+  e.arg2_name = arg2_name_;
+  e.arg1 = arg1_;
+  e.arg2 = arg2_;
+  thread_ring().push(e);
+}
+
+std::size_t num_events() { return collect_events_locked().size(); }
+
+std::uint64_t dropped_events() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> collect_events() { return collect_events_locked(); }
+
+void write_chrome_trace(std::ostream& out) {
+  const auto events = collect_with_tids();
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_array();
+  for (const auto& [e, tid] : events) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("cat", "satdiag");
+    w.kv("ph", "X");
+    w.kv("pid", 1);
+    w.kv("tid", static_cast<std::uint64_t>(tid));
+    w.kv("ts", static_cast<double>(e.start_ns) / 1e3);   // microseconds
+    w.kv("dur", static_cast<double>(e.dur_ns) / 1e3);
+    if (e.arg1_name != nullptr || e.arg2_name != nullptr) {
+      w.key("args");
+      w.begin_object();
+      if (e.arg1_name != nullptr) w.kv(e.arg1_name, e.arg1);
+      if (e.arg2_name != nullptr) w.kv(e.arg2_name, e.arg2);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  out << '\n';
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+std::vector<PhaseAgg> aggregate_phases() {
+  std::map<std::string, PhaseAgg> by_name;
+  for (const TraceEvent& e : collect_events_locked()) {
+    PhaseAgg& agg = by_name[e.name];
+    agg.name = e.name;
+    ++agg.count;
+    agg.seconds += static_cast<double>(e.dur_ns) / 1e9;
+  }
+  std::vector<PhaseAgg> phases;
+  phases.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) phases.push_back(std::move(agg));
+  return phases;
+}
+
+}  // namespace satdiag::obs

@@ -161,6 +161,7 @@ ExperimentRow run_experiment(const PreparedExperiment& prepared,
     row.bsat.solutions = result.solutions;
     row.bsat.quality = evaluate_solution_quality(
         prepared.faulty, result.solutions, prepared.error_sites);
+    row.bsat.solver_stats = result.solver_stats;
   }
   return row;
 }

@@ -54,6 +54,9 @@ struct ApproachOutcome {
   bool complete = true;
   std::vector<std::vector<GateId>> solutions;
   SolutionSetQuality quality;
+  /// Per-cell solver counters, merged over the approach's workers (BSAT
+  /// fills it; COV has no SAT solver behind it and leaves it zeroed).
+  sat::Solver::Stats solver_stats;
 };
 
 struct ExperimentRow {

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "sat/elim.hpp"
 #include "sat/probe.hpp"
 #include "sat/subsume.hpp"
@@ -1049,6 +1050,7 @@ void Solver::push_learnt(CRef c, unsigned lbd) {
 }
 
 void Solver::reduce_db() {
+  obs::Span span("sat.reduce_db");
   // Re-bucket by tier tag (analyze promotes by lowering the tag), demote
   // mid-tier clauses unused for two consecutive reduce rounds, then halve
   // the local tier by activity. Core clauses are kept outright — they carry
@@ -1301,6 +1303,7 @@ void Solver::compact_clause_lists() {
 }
 
 bool Solver::inprocess() {
+  obs::Span span("sat.inprocess");
   assert(decision_level() == 0);
   if (!ok_) return false;
   ++stats_.inprocess_runs;
@@ -1463,6 +1466,9 @@ double Solver::luby(double y, int i) {
 }
 
 LBool Solver::search() {
+  // BCP-adjacent: compiled out unless -DSATDIAG_OBS_HOT_SPANS (one span per
+  // restart-quantum of search; propagate() itself stays uninstrumented).
+  SATDIAG_HOT_SPAN(search_span, "sat.search");
   const int restart_base = 100;
   int conflicts_this_restart = 0;
   const double restart_factor =

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace satdiag {
 
 SimOp CompiledNetlist::opcode_for(GateType type, std::size_t arity) {
@@ -61,6 +63,8 @@ SimOp CompiledNetlist::opcode_for(GateType type, std::size_t arity) {
 }
 
 CompiledNetlist::CompiledNetlist(const Netlist& nl) : nl_(&nl) {
+  obs::Span span("sim.compile", "gates",
+                 static_cast<std::int64_t>(nl.size()));
   assert(nl.finalized());
   const std::size_t n = nl.size();
   instrs_.resize(n);

@@ -27,6 +27,12 @@ class CliArgs {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Every parsed flag with its raw value (config echo for run reports).
+  /// Does not mark anything as queried.
+  const std::map<std::string, std::string>& raw_values() const {
+    return values_;
+  }
+
  private:
   std::map<std::string, std::string> values_;
   mutable std::map<std::string, bool> queried_;

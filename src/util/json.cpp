@@ -1,0 +1,145 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace satdiag {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    for (int j = 0; j < indent_; ++j) out_ << ' ';
+  }
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    // key() already placed the comma/indent and the "key": prefix.
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  Level& level = stack_.back();
+  if (level.count > 0) out_ << ',';
+  ++level.count;
+  newline_indent();
+}
+
+void JsonWriter::key(std::string_view k) {
+  Level& level = stack_.back();
+  if (level.count > 0) out_ << ',';
+  ++level.count;
+  newline_indent();
+  out_ << '"' << json_escape(k) << "\":";
+  if (indent_ > 0) out_ << ' ';
+  pending_key_ = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back({Scope::kObject});
+}
+
+void JsonWriter::end_object() {
+  const bool empty = stack_.back().count == 0;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back({Scope::kArray});
+}
+
+void JsonWriter::end_array() {
+  const bool empty = stack_.back().count == 0;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  out_ << ']';
+}
+
+void JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ << '"' << json_escape(s) << '"';
+}
+
+void JsonWriter::value(bool b) {
+  before_value();
+  out_ << (b ? "true" : "false");
+}
+
+void JsonWriter::value(double d) {
+  before_value();
+  if (!std::isfinite(d)) {
+    out_ << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", d);
+  out_ << buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ << v;
+}
+
+void JsonWriter::null() {
+  before_value();
+  out_ << "null";
+}
+
+void JsonWriter::raw(std::string_view json_fragment) {
+  before_value();
+  out_ << json_fragment;
+}
+
+}  // namespace satdiag

@@ -1,0 +1,70 @@
+// Minimal streaming JSON writer for the observability layer (metrics
+// snapshots, Chrome trace_event files, run reports).
+//
+// No DOM, no allocation beyond the nesting stack: callers emit begin/end
+// scopes and key/value pairs in order and the writer inserts commas,
+// indentation, and string escaping. Output is deterministic — pairs appear
+// exactly in emission order — which is what lets the CLI report be golden-
+// file tested with normalized numeric values.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace satdiag {
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  /// indent <= 0 writes compact single-line JSON.
+  explicit JsonWriter(std::ostream& out, int indent = 2)
+      : out_(out), indent_(indent) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member key; must be followed by exactly one value or scope.
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b);
+  void value(double d);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void null();
+  /// Splice a pre-serialized JSON fragment as one value (the CLI composes
+  /// the run report from fragments built at different times).
+  void raw(std::string_view json_fragment);
+
+  template <typename T>
+  void kv(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+ private:
+  enum class Scope { kObject, kArray };
+  void before_value();
+  void newline_indent();
+
+  std::ostream& out_;
+  int indent_;
+  struct Level {
+    Scope scope;
+    std::size_t count = 0;
+  };
+  std::vector<Level> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace satdiag

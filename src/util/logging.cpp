@@ -1,11 +1,22 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 
 namespace satdiag {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+bool env_log_times() {
+  const char* value = std::getenv("SATDIAG_LOG_TIMES");
+  return value != nullptr && *value != '\0' && std::string_view(value) != "0";
+}
+
+std::atomic<bool> g_timestamps{env_log_times()};
+thread_local int g_lane = -1;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -20,6 +31,12 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
+
+double seconds_since_start() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - epoch).count();
+}
 }  // namespace
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
@@ -28,8 +45,30 @@ void set_log_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
 }
 
+bool log_timestamps() { return g_timestamps.load(std::memory_order_relaxed); }
+
+void set_log_timestamps(bool enabled) {
+  if (enabled) seconds_since_start();  // pin the epoch at enable time
+  g_timestamps.store(enabled, std::memory_order_relaxed);
+}
+
+void set_log_lane(int lane) { g_lane = lane; }
+
+int log_lane() { return g_lane; }
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
+  // One fprintf per line: whole lines never tear across threads.
+  if (log_timestamps()) {
+    if (g_lane >= 0) {
+      std::fprintf(stderr, "[satdiag %s %10.6f L%d] %s\n", level_tag(level),
+                   seconds_since_start(), g_lane, message.c_str());
+    } else {
+      std::fprintf(stderr, "[satdiag %s %10.6f] %s\n", level_tag(level),
+                   seconds_since_start(), message.c_str());
+    }
+    return;
+  }
   std::fprintf(stderr, "[satdiag %s] %s\n", level_tag(level), message.c_str());
 }
 }  // namespace detail

@@ -23,6 +23,19 @@ enum class LogLevel : int {
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
+/// Optional line prefixes: a monotonic seconds-since-start timestamp plus
+/// the emitting thread's exec/ lane (when one is set). Off by default so
+/// golden-tested output stays stable; enabled by the CLI's --log-times or
+/// the SATDIAG_LOG_TIMES environment variable (any value but "0").
+bool log_timestamps();
+void set_log_timestamps(bool enabled);
+
+/// Tag this thread's log lines with an exec/ lane index (-1 clears the
+/// tag). The thread pool sets it for workers; only shown when
+/// log_timestamps() is on.
+void set_log_lane(int lane);
+int log_lane();
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& message);
 

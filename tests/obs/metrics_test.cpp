@@ -1,0 +1,151 @@
+// Unit tests for the MetricsRegistry substrate: registration semantics
+// (same name -> same object, kind collisions throw), sharded-counter
+// aggregation under concurrent writers (exact totals — this suite runs
+// under the ThreadSanitizer CI job), histogram bucketing, and the JSON
+// snapshot shape.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace satdiag::obs {
+namespace {
+
+TEST(MetricsRegistryTest, SameNameReturnsSameObject) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("test.c");
+  Counter& b = reg.counter("test.c");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = reg.gauge("test.g");
+  Gauge& g2 = reg.gauge("test.g");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(MetricsRegistryTest, KindCollisionThrows) {
+  MetricsRegistry reg;
+  reg.counter("test.c");
+  EXPECT_THROW(reg.gauge("test.c"), std::logic_error);
+  constexpr std::uint64_t bounds[] = {10};
+  EXPECT_THROW(reg.histogram("test.c", bounds), std::logic_error);
+}
+
+TEST(MetricsRegistryTest, CounterAggregatesExactlyAcrossThreads) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 50000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kAddsPerThread);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("test.gauge");
+  g.set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.add(-50);
+  EXPECT_EQ(g.value(), -8);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAndOverflow) {
+  MetricsRegistry reg;
+  constexpr std::uint64_t bounds[] = {10, 100, 1000};
+  Histogram& h = reg.histogram("test.hist", bounds);
+  h.observe(5);     // <= 10
+  h.observe(10);    // <= 10 (inclusive upper bound)
+  h.observe(11);    // <= 100
+  h.observe(1000);  // <= 1000
+  h.observe(5000);  // overflow
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);  // overflow bucket
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 5u + 10 + 11 + 1000 + 5000);
+}
+
+TEST(MetricsRegistryTest, HistogramAggregatesAcrossThreads) {
+  MetricsRegistry reg;
+  constexpr std::uint64_t bounds[] = {100};
+  Histogram& h = reg.histogram("test.hist.mt", bounds);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kObsPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kObsPerThread; ++i) h.observe(i % 200);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), kThreads * kObsPerThread);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  // i % 200: values 0..100 land in the first bucket (inclusive), 101..199
+  // overflow; each thread cycles the range exactly 100 times.
+  EXPECT_EQ(counts[0], kThreads * kObsPerThread / 200 * 101);
+  EXPECT_EQ(counts[0] + counts[1], h.count());
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("z.last").add(7);
+  reg.gauge("a.first").set(-3);
+  constexpr std::uint64_t bounds[] = {1};
+  reg.histogram("m.mid", bounds).observe(2);
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a.first");
+  EXPECT_EQ(samples[0].kind, MetricKind::kGauge);
+  EXPECT_EQ(samples[0].gauge, -3);
+  EXPECT_EQ(samples[1].name, "m.mid");
+  EXPECT_EQ(samples[1].kind, MetricKind::kHistogram);
+  EXPECT_EQ(samples[1].overflow, 1u);
+  EXPECT_EQ(samples[2].name, "z.last");
+  EXPECT_EQ(samples[2].counter, 7u);
+}
+
+TEST(MetricsRegistryTest, ResetValuesKeepsNamesRegistered) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.reset");
+  c.add(5);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  // Same object after reset: the registration survives.
+  EXPECT_EQ(&reg.counter("test.reset"), &c);
+}
+
+TEST(MetricsRegistryTest, WriteJsonShape) {
+  MetricsRegistry reg;
+  reg.counter("c.n").add(3);
+  reg.gauge("g.n").set(-1);
+  constexpr std::uint64_t bounds[] = {10};
+  Histogram& h = reg.histogram("h.n", bounds);
+  h.observe(4);
+  h.observe(99);
+  std::ostringstream os;
+  reg.write_json(os, /*indent=*/0);
+  EXPECT_EQ(os.str(),
+            R"({"c.n":3,"g.n":-1,"h.n":{"buckets":[{"le":10,"count":1},)"
+            R"({"le":"inf","count":1}],"count":2,"sum":103}})");
+}
+
+TEST(MetricsRegistryTest, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace satdiag::obs

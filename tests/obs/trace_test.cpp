@@ -1,0 +1,161 @@
+// Unit tests for the structured-tracing layer: disabled-by-default spans,
+// ring overflow with drop-oldest (enclosing spans survive because events
+// push at span end), deferred/early-close span lifecycles, reset semantics,
+// Chrome trace_event JSON well-formedness, and the phase aggregator.
+//
+// Each test owns the process-global trace state (reset_tracing +
+// set_tracing_enabled); tests in this file must not run concurrently with
+// each other, which gtest guarantees within one binary.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+namespace satdiag::obs {
+namespace {
+
+/// RAII guard: every test starts from a clean, enabled trace state and
+/// leaves tracing disabled with default capacity for the next suite.
+struct TraceFixture {
+  explicit TraceFixture(std::size_t capacity = 1 << 10) {
+    set_ring_capacity(capacity);
+    reset_tracing();
+    set_tracing_enabled(true);
+  }
+  ~TraceFixture() {
+    set_tracing_enabled(false);
+    set_ring_capacity(1 << 16);
+    reset_tracing();
+  }
+};
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  TraceFixture fixture;
+  set_tracing_enabled(false);
+  { Span s("never"); }
+  EXPECT_EQ(num_events(), 0u);
+}
+
+TEST(TraceTest, SpanRecordsNameArgsAndDuration) {
+  TraceFixture fixture;
+  {
+    Span s("unit.work", "shard", 3, "lane", 7);
+  }
+  const auto events = collect_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit.work");
+  EXPECT_STREQ(events[0].arg1_name, "shard");
+  EXPECT_EQ(events[0].arg1, 3);
+  EXPECT_STREQ(events[0].arg2_name, "lane");
+  EXPECT_EQ(events[0].arg2, 7);
+  EXPECT_GT(events[0].dur_ns, 0u);
+}
+
+TEST(TraceTest, EventsPushAtSpanEndSoEnclosingSpanIsLast) {
+  TraceFixture fixture;
+  {
+    Span outer("outer");
+    { Span inner("inner"); }
+  }
+  const auto events = collect_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+}
+
+TEST(TraceTest, RingOverflowDropsOldestAndCounts) {
+  TraceFixture fixture(/*capacity=*/4);
+  {
+    Span outer("outer");
+    for (int i = 0; i < 10; ++i) {
+      Span inner("inner");
+    }
+  }
+  // 11 pushes into a 4-slot ring: 7 dropped, 4 retained; the enclosing
+  // span pushed last so it must be among the survivors.
+  EXPECT_EQ(dropped_events(), 7u);
+  const auto events = collect_events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_STREQ(events.back().name, "outer");
+}
+
+TEST(TraceTest, DeferredSpanOnlyRecordsAfterOpen) {
+  TraceFixture fixture;
+  {
+    Span deferred(Span::kDeferred);
+  }
+  EXPECT_EQ(num_events(), 0u);
+  {
+    Span deferred(Span::kDeferred);
+    deferred.open("late");
+  }
+  const auto events = collect_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "late");
+}
+
+TEST(TraceTest, CloseIsIdempotentAndEndsTheSpanEarly) {
+  TraceFixture fixture;
+  {
+    Span s("early");
+    s.close();
+    s.close();  // second close is a no-op
+  }             // destructor must not push a second event
+  EXPECT_EQ(num_events(), 1u);
+}
+
+TEST(TraceTest, ResetDropsEventsAndZeroesDropCounter) {
+  TraceFixture fixture(/*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    Span s("spin");
+  }
+  EXPECT_GT(dropped_events(), 0u);
+  reset_tracing();
+  EXPECT_EQ(num_events(), 0u);
+  EXPECT_EQ(dropped_events(), 0u);
+  // The recording thread re-acquires a ring in the new generation.
+  { Span s("after.reset"); }
+  EXPECT_EQ(num_events(), 1u);
+}
+
+TEST(TraceTest, ChromeTraceJsonShape) {
+  TraceFixture fixture;
+  {
+    Span s("json.span", "bound", 2);
+  }
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const std::string json = os.str();
+  // One complete event with the fixed envelope fields.
+  EXPECT_NE(json.find("\"name\":\"json.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"satdiag\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"bound\":2}"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');  // trailing newline after the array
+  // Balanced braces — cheap well-formedness check without a parser.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(TraceTest, AggregatePhasesSumsPerName) {
+  TraceFixture fixture;
+  for (int i = 0; i < 3; ++i) {
+    Span s("phase.a");
+  }
+  { Span s("phase.b"); }
+  const auto phases = aggregate_phases();
+  ASSERT_EQ(phases.size(), 2u);  // name-sorted
+  EXPECT_EQ(phases[0].name, "phase.a");
+  EXPECT_EQ(phases[0].count, 3u);
+  EXPECT_GT(phases[0].seconds, 0.0);
+  EXPECT_EQ(phases[1].name, "phase.b");
+  EXPECT_EQ(phases[1].count, 1u);
+}
+
+}  // namespace
+}  // namespace satdiag::obs

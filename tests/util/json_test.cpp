@@ -1,0 +1,103 @@
+// Unit tests for the streaming JSON writer behind the observability
+// artifacts: escaping, nesting/comma placement, compact vs indented output,
+// and raw-fragment splicing (how the CLI composes the run report).
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace satdiag {
+namespace {
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, CompactObjectWithMixedValues) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.kv("s", "x");
+  w.kv("b", true);
+  w.kv("i", static_cast<std::int64_t>(-5));
+  w.kv("u", static_cast<std::uint64_t>(7));
+  w.key("n");
+  w.null();
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"s":"x","b":true,"i":-5,"u":7,"n":null})");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.key("rows");
+  w.begin_array();
+  for (int i = 0; i < 2; ++i) {
+    w.begin_object();
+    w.kv("i", i);
+    w.end_object();
+  }
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.end_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"rows":[{"i":0},{"i":1},[1,2]]})");
+}
+
+TEST(JsonWriterTest, IndentedOutputIsStable) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/2);
+  w.begin_object();
+  w.kv("a", 1);
+  w.key("o");
+  w.begin_object();
+  w.kv("b", 2);
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\n  \"a\": 1,\n  \"o\": {\n    \"b\": 2\n  }\n}");
+}
+
+TEST(JsonWriterTest, DoubleRoundTripsIntegralAndFractional) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_array();
+  w.value(0.5);
+  w.value(2.0);
+  w.end_array();
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("0.5"), std::string::npos);
+  EXPECT_NE(json.find("2"), std::string::npos);
+}
+
+TEST(JsonWriterTest, RawSplicesPreSerializedFragments) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.key("result");
+  w.raw(R"({"solutions":3,"complete":true})");
+  w.kv("after", 1);
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            R"({"result":{"solutions":3,"complete":true},"after":1})");
+}
+
+TEST(JsonWriterTest, EscapesKeys) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.kv("we\"ird", 1);
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"we\"ird":1})");
+}
+
+}  // namespace
+}  // namespace satdiag

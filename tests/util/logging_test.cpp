@@ -1,0 +1,82 @@
+// Unit tests for the logger's optional observability prefixes: monotonic
+// timestamps and exec/-lane tags (--log-times / SATDIAG_LOG_TIMES). Off by
+// default so golden-tested CLI output stays byte-stable.
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace satdiag {
+namespace {
+
+/// Capture what one log line writes to stderr.
+std::string emit_line(const std::string& message) {
+  testing::internal::CaptureStderr();
+  SATDIAG_WARN() << message;
+  return testing::internal::GetCapturedStderr();
+}
+
+struct LoggingFixture {
+  LoggingFixture() {
+    set_log_timestamps(false);
+    set_log_lane(-1);
+  }
+  ~LoggingFixture() {
+    set_log_timestamps(false);
+    set_log_lane(-1);
+  }
+};
+
+TEST(LoggingTest, DefaultFormatHasNoTimestamp) {
+  LoggingFixture fixture;
+  EXPECT_EQ(emit_line("plain"), "[satdiag W] plain\n");
+}
+
+TEST(LoggingTest, TimestampPrefixWhenEnabled) {
+  LoggingFixture fixture;
+  set_log_timestamps(true);
+  const std::string line = emit_line("timed");
+  // "[satdiag W   0.001234] timed\n" — a fixed-width seconds field.
+  EXPECT_EQ(line.find("[satdiag W "), 0u);
+  EXPECT_NE(line.find("] timed\n"), std::string::npos);
+  EXPECT_NE(line.find('.'), std::string::npos);
+  EXPECT_EQ(line.find('L'), std::string::npos);  // no lane tag set
+}
+
+TEST(LoggingTest, LaneTagOnlyShownWithTimestamps) {
+  LoggingFixture fixture;
+  set_log_lane(3);
+  EXPECT_EQ(emit_line("no-times"), "[satdiag W] no-times\n");
+  set_log_timestamps(true);
+  const std::string line = emit_line("with-lane");
+  EXPECT_NE(line.find(" L3] with-lane\n"), std::string::npos);
+}
+
+TEST(LoggingTest, TimestampsAreMonotone) {
+  LoggingFixture fixture;
+  set_log_timestamps(true);
+  const auto seconds_of = [](const std::string& line) {
+    // "[satdiag W <seconds>...] ..." — parse the second token.
+    const std::size_t start = std::string("[satdiag W ").size();
+    return std::stod(line.substr(start));
+  };
+  const double a = seconds_of(emit_line("a"));
+  const double b = seconds_of(emit_line("b"));
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(LoggingTest, LevelGateStillApplies) {
+  LoggingFixture fixture;
+  set_log_timestamps(true);
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  SATDIAG_WARN() << "dropped";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  set_log_level(prev);
+}
+
+}  // namespace
+}  // namespace satdiag

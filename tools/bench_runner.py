@@ -13,6 +13,14 @@ Every benchmark is a full driver invocation with fixed seeds, so numbers are
 comparable as long as the two runs happen on the same machine. Drivers are
 run sequentially (the container is single-core anyway); each entry records
 the command line so a cell can be reproduced by hand.
+
+Workloads whose argv contains the {REPORT} placeholder run with
+--report-json and get the report's per-phase timings (schema
+"satdiag.report", see README "Observability") embedded as sub-rows of their
+BENCH entry; --compare prints those as indented "name/phase.x" rows, so a
+regression can be attributed to load/build/enumerate/sim without rerunning
+anything. {FIXTURES} expands to the pinned tests/cli/golden fixture
+directory.
 """
 
 import argparse
@@ -21,10 +29,16 @@ import os
 import platform
 import subprocess
 import sys
+import tempfile
 import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURES_DIR = os.path.join(REPO_ROOT, "tests", "cli", "golden")
 
 # name -> (driver binary, argv). Seeds/scales are pinned: the workload must
 # be identical across runs for the wall-clock comparison to mean anything.
+# A driver containing "/" is resolved relative to the build dir root
+# (e.g. "tools/satdiag_cli"); a bare name comes from build/bench/.
 BENCHES = {
     # Solver-bound: BSAT/COV/BSIM across the Table 2 grid at reduced scale.
     # --threads 1 pins the serial baseline row (no-regression guard for the
@@ -113,12 +127,40 @@ BENCHES = {
         ["--workload", "portfolio", "--seed", "1", "--threads", "4",
          "--json"],
     ),
+    # Report-driven CLI workloads: the run report's phase timings become
+    # sub-rows, attributing any wall-clock drift to a pipeline stage.
+    "cli_diagnose_report": (
+        "tools/satdiag_cli",
+        ["diagnose", "{FIXTURES}/faulty.bench",
+         "--tests", "{FIXTURES}/tests.txt", "--approach", "bsat", "--k", "2",
+         "--report-json", "{REPORT}"],
+    ),
+    "cli_experiment_report": (
+        "tools/satdiag_cli",
+        ["experiment", "--circuits", "s298_like,s526_like", "--errors", "1",
+         "--tests", "4,6", "--scale", "0.5", "--seed", "3", "--limit", "60",
+         "--csv", "--report-json", "{REPORT}"],
+    ),
 }
 
 
 def run_bench(build_dir, name, spec):
-    binary = os.path.join(build_dir, "bench", spec[0])
-    cmd = [binary] + spec[1]
+    driver = spec[0]
+    if "/" in driver:
+        binary = os.path.join(build_dir, *driver.split("/"))
+    else:
+        binary = os.path.join(build_dir, "bench", driver)
+    report_path = None
+    argv = []
+    for arg in spec[1]:
+        if "{REPORT}" in arg:
+            if report_path is None:
+                fd, report_path = tempfile.mkstemp(suffix=".json",
+                                                   prefix="satdiag_report_")
+                os.close(fd)
+            arg = arg.replace("{REPORT}", report_path)
+        argv.append(arg.replace("{FIXTURES}", FIXTURES_DIR))
+    cmd = [binary] + argv
     print(f"[bench_runner] {name}: {' '.join(cmd)}", file=sys.stderr)
     start = time.monotonic()
     proc = subprocess.run(cmd, capture_output=True, text=True)
@@ -137,6 +179,21 @@ def run_bench(build_dir, name, spec):
                 entry["self_reported"] = json.loads(line)
             except json.JSONDecodeError:
                 pass
+    if report_path is not None:
+        try:
+            with open(report_path) as f:
+                report = json.load(f)
+            entry["report"] = {
+                "schema_version": report.get("schema_version"),
+                "wall_seconds": report.get("wall_seconds"),
+                # Phase sub-rows: {"phase.build": seconds, ...}.
+                "phases": {p["name"]: p["seconds"]
+                           for p in report.get("phases", [])},
+            }
+        except (OSError, json.JSONDecodeError, KeyError) as err:
+            entry["report_error"] = str(err)
+        finally:
+            os.unlink(report_path)
     if proc.returncode != 0:
         entry["stderr_tail"] = proc.stderr[-2000:]
     print(f"[bench_runner] {name}: {seconds:.1f}s "
@@ -149,14 +206,24 @@ def compare(baseline_path, after_path):
         base = json.load(f)
     with open(after_path) as f:
         after = json.load(f)
-    print(f"{'bench':<24} {'baseline s':>10} {'after s':>10} {'speedup':>8}")
+    print(f"{'bench':<28} {'baseline s':>10} {'after s':>10} {'speedup':>8}")
     for name, b in base["benches"].items():
         a = after["benches"].get(name)
         if not a:
             continue
         speedup = b["seconds"] / a["seconds"] if a["seconds"] > 0 else 0.0
-        print(f"{name:<24} {b['seconds']:>10.2f} {a['seconds']:>10.2f} "
+        print(f"{name:<28} {b['seconds']:>10.2f} {a['seconds']:>10.2f} "
               f"{speedup:>7.2f}x")
+        # Phase sub-rows from the run report, where both runs captured one.
+        b_phases = b.get("report", {}).get("phases", {})
+        a_phases = a.get("report", {}).get("phases", {})
+        for phase, b_s in b_phases.items():
+            a_s = a_phases.get(phase)
+            if a_s is None:
+                continue
+            ratio = b_s / a_s if a_s > 0 else 0.0
+            print(f"  {phase:<26} {b_s:>10.3f} {a_s:>10.3f} "
+                  f"{ratio:>7.2f}x")
 
 
 def main():

@@ -19,6 +19,17 @@
 //             runs whole cells instance-parallel.)
 //   repair    faulty.bench --tests tests.txt --gates g1,g2,...
 //
+// Global flags (every subcommand):
+//   --trace-out FILE    write a Chrome trace_event JSON (chrome://tracing,
+//                       Perfetto) of the run's spans
+//   --report-json FILE  write the schema-versioned machine-readable run
+//                       report (config echo, phase timings, metrics
+//                       snapshot, result summary); "-" = stdout
+//   --stats-json FILE   write just the report's metrics section; "-" = stdout
+//   --log-times         prefix log lines with monotonic timestamps and
+//                       exec/ lane indices (also: SATDIAG_LOG_TIMES=1)
+//   --verbose           raise the log level to info (library progress lines)
+//
 // The bench format is ISCAS89 .bench; the test format is documented in
 // src/report/testfile.hpp.
 #include <algorithm>
@@ -26,13 +37,13 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_parser.hpp"
 #include "bench/bench_writer.hpp"
-#include "cache/artifact_cache.hpp"
-#include "cnf/clause_stream.hpp"
 #include "diag/bsat.hpp"
 #include "diag/cover.hpp"
 #include "diag/hybrid.hpp"
@@ -40,13 +51,19 @@
 #include "fault/testgen.hpp"
 #include "gen/profiles.hpp"
 #include "netlist/scan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "repair/realize.hpp"
 #include "report/experiment.hpp"
 #include "report/format.hpp"
 #include "report/testfile.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 using namespace satdiag;
 
@@ -71,66 +88,43 @@ int usage() {
 
 Netlist load_bench(const std::string& path) { return parse_bench_file(path); }
 
-void print_solver_stats(const sat::Solver::Stats& st) {
-  std::printf("solver stats:\n");
-  std::printf("  conflicts:           %llu\n",
-              static_cast<unsigned long long>(st.conflicts));
-  std::printf("  decisions:           %llu\n",
-              static_cast<unsigned long long>(st.decisions));
-  std::printf("  propagations:        %llu\n",
-              static_cast<unsigned long long>(st.propagations));
-  std::printf("  binary_propagations: %llu\n",
-              static_cast<unsigned long long>(st.binary_propagations));
-  std::printf("  restarts:            %llu\n",
-              static_cast<unsigned long long>(st.restarts));
-  std::printf("  learned:             %llu\n",
-              static_cast<unsigned long long>(st.learned));
-  std::printf("  removed:             %llu\n",
-              static_cast<unsigned long long>(st.removed));
-  std::printf("  gc_runs:             %llu\n",
-              static_cast<unsigned long long>(st.gc_runs));
-  std::printf("  inprocess_runs:      %llu\n",
-              static_cast<unsigned long long>(st.inprocess_runs));
-  std::printf("  subsumed:            %llu\n",
-              static_cast<unsigned long long>(st.subsumed));
-  std::printf("  strengthened:        %llu\n",
-              static_cast<unsigned long long>(st.strengthened));
-  std::printf("  vivified:            %llu\n",
-              static_cast<unsigned long long>(st.vivified));
-  std::printf("  vars_eliminated:     %llu\n",
-              static_cast<unsigned long long>(st.vars_eliminated));
-  std::printf("  failed_literals:     %llu\n",
-              static_cast<unsigned long long>(st.failed_literals));
-  std::printf("  learnts_exported:    %llu\n",
-              static_cast<unsigned long long>(st.learnts_exported));
-  std::printf("  learnts_imported:    %llu\n",
-              static_cast<unsigned long long>(st.learnts_imported));
-  std::printf("  tier_core/mid/local: %llu/%llu/%llu\n",
-              static_cast<unsigned long long>(st.tier_core),
-              static_cast<unsigned long long>(st.tier_mid),
-              static_cast<unsigned long long>(st.tier_local));
-}
+/// The report's "result" section, set by whichever cmd_* ran; spliced
+/// verbatim into the run report / report-json output.
+std::string g_result_json;
 
-/// Instance-construction counters: the artifact cache feeding compile
-/// products to the pipeline and the ClauseStream template stamper.
-void print_pipeline_stats() {
-  const cache::ArtifactCache::Stats cs = cache::ArtifactCache::global().stats();
-  const ClauseStreamStats ts = clause_stream_stats();
-  std::printf("pipeline stats:\n");
-  std::printf("  cache_hits:          %llu\n",
-              static_cast<unsigned long long>(cs.hits));
-  std::printf("  cache_misses:        %llu\n",
-              static_cast<unsigned long long>(cs.misses));
-  std::printf("  cache_evictions:     %llu\n",
-              static_cast<unsigned long long>(cs.evictions));
-  std::printf("  cache_bytes:         %llu\n",
-              static_cast<unsigned long long>(cs.bytes));
-  std::printf("  templates_built:     %llu\n",
-              static_cast<unsigned long long>(ts.templates_built));
-  std::printf("  copies_stamped:      %llu\n",
-              static_cast<unsigned long long>(ts.copies_stamped));
-  std::printf("  clauses_stamped:     %llu\n",
-              static_cast<unsigned long long>(ts.clauses_stamped));
+/// --stats output, driven by the metrics registry snapshot so every
+/// subsystem that publishes a metric shows up without CLI changes. Dotted
+/// names print with '.' replaced by '_' — the historical key names
+/// ("cache_hits:", "copies_stamped:" via "cnf_copies_stamped:") stay
+/// greppable — plus the legacy composite tier line.
+void print_registry_stats() {
+  obs::refresh_process_metrics();
+  std::printf("run stats:\n");
+  for (const obs::MetricSample& s : obs::MetricsRegistry::global().snapshot()) {
+    std::string display = s.name;
+    std::replace(display.begin(), display.end(), '.', '_');
+    display += ':';
+    switch (s.kind) {
+      case obs::MetricKind::kCounter:
+        std::printf("  %-24s %llu\n", display.c_str(),
+                    static_cast<unsigned long long>(s.counter));
+        break;
+      case obs::MetricKind::kGauge:
+        std::printf("  %-24s %lld\n", display.c_str(),
+                    static_cast<long long>(s.gauge));
+        break;
+      case obs::MetricKind::kHistogram:
+        std::printf("  %-24s count %llu, sum %llu\n", display.c_str(),
+                    static_cast<unsigned long long>(s.hist_count),
+                    static_cast<unsigned long long>(s.hist_sum));
+        break;
+    }
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  std::printf("  tier_core/mid/local:     %lld/%lld/%lld\n",
+              static_cast<long long>(reg.gauge("sat.tier_core").value()),
+              static_cast<long long>(reg.gauge("sat.tier_mid").value()),
+              static_cast<long long>(reg.gauge("sat.tier_local").value()));
 }
 
 void print_solutions(const Netlist& nl,
@@ -228,6 +222,7 @@ int cmd_inject(const CliArgs& args) {
 
 int cmd_diagnose(const CliArgs& args) {
   if (args.positional().size() < 2) return fail("diagnose needs a .bench file");
+  obs::Span load_span("phase.load");
   Netlist nl = load_bench(args.positional()[1]);
   if (!nl.dffs().empty()) nl = make_full_scan(nl).comb;
   const std::string tests_path = args.get_string("tests", "");
@@ -236,6 +231,7 @@ int cmd_diagnose(const CliArgs& args) {
   if (!in) return fail("cannot read '" + tests_path + "'");
   const TestSet tests = read_test_set(in, nl);
   if (tests.empty()) return fail("empty test set");
+  load_span.close();
 
   const unsigned k = static_cast<unsigned>(args.get_int("k", 1));
   const double limit = args.get_double("limit", 300.0);
@@ -256,7 +252,25 @@ int cmd_diagnose(const CliArgs& args) {
     return fail("--threads requires a SAT-backed approach (bsat or hybrid)");
   }
 
+  const auto set_result_json = [&](const char* approach_name,
+                                   std::size_t num_solutions, bool complete,
+                                   double build_s, double first_s,
+                                   double all_s) {
+    std::ostringstream os;
+    JsonWriter w(os, /*indent=*/0);
+    w.begin_object();
+    w.kv("approach", approach_name);
+    w.kv("solutions", static_cast<std::uint64_t>(num_solutions));
+    w.kv("complete", complete);
+    w.kv("build_seconds", build_s);
+    w.kv("first_seconds", first_s);
+    w.kv("all_seconds", all_s);
+    w.end_object();
+    g_result_json = os.str();
+  };
+
   if (approach == "bsim") {
+    obs::Span sim_span("phase.sim");
     const BsimResult result = basic_sim_diagnose(nl, tests);
     std::printf("marked %zu gates; Gmax (%u marks):\n",
                 result.marked_union.size(), result.max_marks);
@@ -264,6 +278,7 @@ int cmd_diagnose(const CliArgs& args) {
       std::printf("  %s (M=%u)\n", nl.gate_name(g).c_str(),
                   result.mark_count[g]);
     }
+    set_result_json("bsim", result.gmax.size(), true, 0.0, 0.0, 0.0);
     return 0;
   }
   if (approach == "cov") {
@@ -271,10 +286,14 @@ int cmd_diagnose(const CliArgs& args) {
     options.k = k;
     options.deadline = Deadline::after_seconds(limit);
     options.max_solutions = cap;
+    obs::Span sim_span("phase.sim");
     const CovResult result = sc_diagnose(nl, tests, options);
     std::printf("%zu irredundant covers%s:\n", result.solutions.size(),
                 result.complete ? "" : " (truncated)");
     print_solutions(nl, result.solutions);
+    set_result_json("cov", result.solutions.size(), result.complete,
+                    result.build_seconds, result.first_seconds,
+                    result.all_seconds);
     return 0;
   }
   if (approach == "bsat") {
@@ -284,14 +303,15 @@ int cmd_diagnose(const CliArgs& args) {
     options.max_solutions = cap;
     options.num_threads = static_cast<std::size_t>(threads);
     const BsatResult result = basic_sat_diagnose(nl, tests, options);
+    obs::add_solver_stats(result.solver_stats);
     std::printf("%zu valid corrections%s (CNF %.2fs, all %.2fs):\n",
                 result.solutions.size(), result.complete ? "" : " (truncated)",
                 result.build_seconds, result.all_seconds);
     print_solutions(nl, result.solutions);
-    if (want_stats) {
-      print_solver_stats(result.solver_stats);
-      print_pipeline_stats();
-    }
+    if (want_stats) print_registry_stats();
+    set_result_json("bsat", result.solutions.size(), result.complete,
+                    result.build_seconds, result.first_seconds,
+                    result.all_seconds);
     return 0;
   }
   if (approach == "hybrid") {
@@ -302,14 +322,14 @@ int cmd_diagnose(const CliArgs& args) {
     options.max_solutions = cap;
     options.num_threads = static_cast<std::size_t>(threads);
     const HybridResult result = hybrid_diagnose(nl, tests, options);
+    obs::add_solver_stats(result.solver_stats);
     std::printf("%zu valid corrections (sim %.2fs + sat %.2fs):\n",
                 result.solutions.size(), result.sim_seconds,
                 result.sat_seconds);
     print_solutions(nl, result.solutions);
-    if (want_stats) {
-      print_solver_stats(result.solver_stats);
-      print_pipeline_stats();
-    }
+    if (want_stats) print_registry_stats();
+    set_result_json("hybrid", result.solutions.size(), result.complete,
+                    result.sim_seconds, 0.0, result.sat_seconds);
     return 0;
   }
   return fail("unknown approach '" + approach + "'");
@@ -381,6 +401,40 @@ int cmd_experiment(const CliArgs& args) {
     table.add_row(table2_row(cell.row));
   }
   std::printf("%s", csv ? table.to_csv().c_str() : table.to_string().c_str());
+
+  // Publish the grid's solver work into the registry (summed over cells)
+  // and echo a per-cell summary — including each cell's own solver
+  // counters, which run_experiment_grid now surfaces — into the report.
+  sat::Solver::Stats grid_stats;
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.kv("cells", static_cast<std::uint64_t>(cells.size()));
+  w.key("rows");
+  w.begin_array();
+  for (const ExperimentCell& cell : cells) {
+    w.begin_object();
+    w.kv("circuit", cell.config.circuit);
+    w.kv("tests", static_cast<std::uint64_t>(cell.config.num_tests));
+    w.kv("errors", static_cast<std::uint64_t>(cell.config.num_errors));
+    w.kv("prepared", cell.prepared);
+    if (cell.prepared) {
+      grid_stats.merge(cell.row.bsat.solver_stats);
+      w.kv("bsim_seconds", cell.row.bsim_seconds);
+      w.kv("bsat_solutions",
+           static_cast<std::uint64_t>(cell.row.bsat.solutions.size()));
+      w.kv("bsat_all_seconds", cell.row.bsat.all_seconds);
+      w.kv("bsat_complete", cell.row.bsat.complete);
+      w.kv("bsat_conflicts", cell.row.bsat.solver_stats.conflicts);
+      w.kv("bsat_decisions", cell.row.bsat.solver_stats.decisions);
+      w.kv("bsat_propagations", cell.row.bsat.solver_stats.propagations);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  g_result_json = os.str();
+  obs::add_solver_stats(grid_stats);
   return 0;
 }
 
@@ -441,6 +495,19 @@ const std::map<std::string, std::vector<std::string>> kKnownFlags = {
     {"repair", {"tests", "gates"}},
 };
 
+/// Runs the subcommand under the trace's enclosing "cli.run" span (closed
+/// on return, before main() drains the rings). -1 = unknown command.
+int dispatch(const std::string& command, const CliArgs& args) {
+  obs::Span run_span("cli.run");
+  if (command == "gen") return cmd_gen(args);
+  if (command == "stats") return cmd_stats(args);
+  if (command == "inject") return cmd_inject(args);
+  if (command == "diagnose") return cmd_diagnose(args);
+  if (command == "experiment") return cmd_experiment(args);
+  if (command == "repair") return cmd_repair(args);
+  return -1;
+}
+
 int check_flags(const std::string& command, const CliArgs& args) {
   const auto it = kKnownFlags.find(command);
   if (it == kKnownFlags.end()) return 0;  // unknown command: usage() handles it
@@ -475,6 +542,8 @@ int main(int argc, char** argv) {
   for (std::string& token : tokens) {
     if (token == "--stats") token = "--stats=true";
     if (token == "--csv") token = "--csv=true";
+    if (token == "--log-times") token = "--log-times=true";
+    if (token == "--verbose") token = "--verbose=true";
   }
   std::vector<const char*> token_ptrs;
   token_ptrs.reserve(tokens.size());
@@ -486,17 +555,66 @@ int main(int argc, char** argv) {
                   error)) {
     return fail(error);
   }
+  // Global observability flags, queried BEFORE check_flags() so every
+  // subcommand accepts them (check_flags sees only still-unqueried flags).
+  const std::string trace_out = args.get_string("trace-out", "");
+  const std::string report_json = args.get_string("report-json", "");
+  const std::string stats_json = args.get_string("stats-json", "");
+  if (args.get_bool("log-times", false)) set_log_timestamps(true);
+  if (args.get_bool("verbose", false)) set_log_level(LogLevel::kInfo);
+  if (!trace_out.empty() || !report_json.empty()) {
+    obs::set_tracing_enabled(true);
+  }
+
   const std::string command = argv[1];
   if (const int rc = check_flags(command, args)) return rc;
+  int rc = -1;
+  Timer wall;
   try {
-    if (command == "gen") return cmd_gen(args);
-    if (command == "stats") return cmd_stats(args);
-    if (command == "inject") return cmd_inject(args);
-    if (command == "diagnose") return cmd_diagnose(args);
-    if (command == "experiment") return cmd_experiment(args);
-    if (command == "repair") return cmd_repair(args);
+    rc = dispatch(command, args);
   } catch (const std::exception& e) {
     return fail(e.what());
   }
-  return usage();
+  if (rc < 0) return usage();
+
+  // Observability artifacts, emitted after the command finished: every
+  // exec/ pool is scoped to its diagnosis call, so all worker threads have
+  // joined and the trace rings are safe to drain.
+  if (!stats_json.empty()) {
+    obs::refresh_process_metrics();
+    if (stats_json == "-") {
+      obs::MetricsRegistry::global().write_json(std::cout);
+      std::cout << '\n';
+    } else {
+      std::ofstream out(stats_json);
+      if (!out) return fail("cannot write '" + stats_json + "'");
+      obs::MetricsRegistry::global().write_json(out);
+      out << '\n';
+    }
+  }
+  if (!trace_out.empty() && !obs::write_chrome_trace_file(trace_out)) {
+    return fail("cannot write '" + trace_out + "'");
+  }
+  if (!report_json.empty()) {
+    obs::RunReport report;
+    report.command = command;
+    for (const auto& [flag, value] : args.raw_values()) {
+      report.config[flag] = value;
+    }
+    const auto& pos = args.positional();
+    std::string joined;
+    for (std::size_t i = 1; i < pos.size(); ++i) {
+      if (!joined.empty()) joined += ' ';
+      joined += pos[i];
+    }
+    report.config["positional"] = joined;
+    report.wall_seconds = wall.seconds();
+    report.result_json = g_result_json;
+    if (report_json == "-") {
+      report.write_json(std::cout);
+    } else if (!report.write_json_file(report_json)) {
+      return fail("cannot write '" + report_json + "'");
+    }
+  }
+  return rc;
 }
