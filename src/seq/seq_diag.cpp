@@ -203,9 +203,23 @@ SeqDiagnoseResult seq_sat_diagnose(const Netlist& sequential,
           blocking.push_back(sat::neg(select_var[i]));
         }
       }
+      if (correction.empty()) {
+        // The model selected zero corrections: the test constraints are
+        // satisfiable by the UNMODIFIED circuit, i.e. the test-set never
+        // actually fails and the diagnosis problem is degenerate. The old
+        // code pushed an empty "correction" and returned with complete ==
+        // true — callers saw a bogus complete enumeration containing the
+        // empty set. Report the case distinctly instead; any non-empty
+        // selection found earlier is subsumed by the empty one and carries
+        // no diagnostic meaning either, so the solution list is cleared.
+        result.tests_consistent = true;
+        result.solutions.clear();
+        result.all_seconds = solve_timer.seconds();
+        return result;
+      }
       std::sort(correction.begin(), correction.end());
       result.solutions.push_back(std::move(correction));
-      if (blocking.empty() || !solver.add_clause(std::move(blocking))) {
+      if (!solver.add_clause(std::move(blocking))) {
         result.all_seconds = solve_timer.seconds();
         return result;
       }

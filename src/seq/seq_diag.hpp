@@ -45,6 +45,11 @@ struct SeqDiagnoseResult {
   /// Essential valid corrections (original-netlist gate ids).
   std::vector<std::vector<GateId>> solutions;
   bool complete = true;
+  /// True when the solver found a model selecting ZERO corrections: the
+  /// test-set is consistent with the unmodified circuit (no observation
+  /// actually fails), so diagnosis is degenerate. `solutions` is empty in
+  /// that case — the empty set is NOT fabricated as a correction.
+  bool tests_consistent = false;
   double build_seconds = 0.0;
   double all_seconds = 0.0;
   std::size_t num_vars = 0;

@@ -1,0 +1,77 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace satdiag::serve {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_{std::max<std::size_t>(config.max_inflight, 1),
+              config.queue_depth} {}
+
+AdmissionController::Admit AdmissionController::admit(
+    const Deadline& deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) return Admit::kShutdown;
+  if (active_ < config_.max_inflight) {
+    ++active_;
+    return Admit::kAdmitted;
+  }
+  if (queued_ >= config_.queue_depth) return Admit::kOverloaded;
+  ++queued_;
+  for (;;) {
+    // Wake-ups are driven by release()/shutdown(); the extra periodic wake
+    // only exists to notice an expired deadline without a dedicated timer
+    // thread.
+    auto wait_for = std::chrono::milliseconds(50);
+    if (deadline.limited()) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(
+          std::chrono::duration<double>(deadline.remaining_seconds()));
+      wait_for = std::clamp(remaining, std::chrono::milliseconds(1),
+                            std::chrono::milliseconds(50));
+    }
+    cv_.wait_for(lock, wait_for);
+    if (shutdown_) {
+      --queued_;
+      return Admit::kShutdown;
+    }
+    if (active_ < config_.max_inflight) {
+      --queued_;
+      ++active_;
+      return Admit::kAdmitted;
+    }
+    if (deadline.expired()) {
+      --queued_;
+      return Admit::kExpired;
+    }
+  }
+}
+
+void AdmissionController::release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (active_ > 0) --active_;
+  }
+  cv_.notify_one();
+}
+
+void AdmissionController::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t AdmissionController::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+std::size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+}  // namespace satdiag::serve

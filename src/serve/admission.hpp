@@ -1,0 +1,65 @@
+// Admission control for the serve daemon: a bounded wait queue in front of
+// a fixed number of execution slots.
+//
+// Every admitted request occupies one slot for its whole execution; at most
+// `max_inflight` requests execute concurrently (the CLI derives it from
+// --threads: the box has that many useful lanes, queueing more work only
+// adds latency). When every slot is busy, up to `queue_depth` requests wait
+// their turn; beyond that the controller LOAD-SHEDS — admit() returns
+// kOverloaded immediately and the transport replies with a structured
+// "overloaded" frame instead of letting latency grow without bound
+// (Mallob-style SAT-as-a-service discipline: reject early, never brown out).
+//
+// A waiting request carries its per-request Deadline into the queue: budgets
+// cover queue time, so a request whose deadline lapses before a slot frees
+// is failed with kExpired rather than executed with no budget left.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "util/timer.hpp"
+
+namespace satdiag::serve {
+
+struct AdmissionConfig {
+  std::size_t max_inflight = 1;
+  std::size_t queue_depth = 16;
+};
+
+class AdmissionController {
+ public:
+  enum class Admit {
+    kAdmitted,    // slot acquired; caller must release()
+    kOverloaded,  // every slot busy and the wait queue is full
+    kExpired,     // deadline lapsed while waiting for a slot
+    kShutdown,    // controller shut down while waiting
+  };
+
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  /// Acquire an execution slot, waiting in the bounded queue if necessary.
+  /// Returns kAdmitted on success — the caller MUST call release() when the
+  /// request finishes (however it finishes).
+  Admit admit(const Deadline& deadline);
+
+  /// Return an admitted request's slot and wake one waiter.
+  void release();
+
+  /// Fail every current and future admit() with kShutdown.
+  void shutdown();
+
+  std::size_t active() const;
+  std::size_t queued() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const AdmissionConfig config_;
+  std::size_t active_ = 0;
+  std::size_t queued_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace satdiag::serve

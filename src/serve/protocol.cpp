@@ -1,0 +1,156 @@
+#include "serve/protocol.hpp"
+
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace satdiag::serve {
+namespace {
+
+/// Coerce a scalar JSON arg value to the CLI's string form. Integers print
+/// exactly; doubles use the writer's shortest round-trip form so a value
+/// survives client -> serve -> CliArgs::get_double bit-exactly.
+bool scalar_to_cli_string(const JsonValue& v, std::string& out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kString:
+      out = v.string;
+      return true;
+    case JsonValue::Kind::kBool:
+      out = v.boolean ? "true" : "false";
+      return true;
+    case JsonValue::Kind::kNumber: {
+      std::ostringstream os;
+      JsonWriter w(os, /*indent=*/0);
+      if (v.is_integer) {
+        w.value(v.integer);
+      } else {
+        w.value(v.number);
+      }
+      out = os.str();
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool parse_request(std::string_view frame, Request& out, std::string& error) {
+  JsonValue doc;
+  if (!json_parse(frame, doc, error)) {
+    error = "invalid JSON: " + error;
+    return false;
+  }
+  if (!doc.is_object()) {
+    error = "request must be a JSON object";
+    return false;
+  }
+
+  Request req;
+  if (const JsonValue* id = doc.find("id")) {
+    if (!scalar_to_cli_string(*id, req.id)) {
+      error = "'id' must be a string, number, or boolean";
+      return false;
+    }
+  }
+  const JsonValue* command = doc.find("command");
+  if (command == nullptr || !command->is_string() || command->string.empty()) {
+    error = "missing or non-string 'command'";
+    return false;
+  }
+  req.command = command->string;
+
+  if (const JsonValue* args = doc.find("args")) {
+    if (!args->is_object()) {
+      error = "'args' must be an object of flag: value pairs";
+      return false;
+    }
+    for (const auto& [name, value] : args->object) {
+      if (name.empty() || name.rfind("--", 0) == 0) {
+        error = "arg names use the bare CLI spelling (got '" + name + "')";
+        return false;
+      }
+      std::string cli_value;
+      if (!scalar_to_cli_string(value, cli_value)) {
+        error = "arg '" + name + "' must be a scalar (string/number/bool)";
+        return false;
+      }
+      if (!req.args.emplace(name, std::move(cli_value)).second) {
+        error = "duplicate arg '" + name + "'";
+        return false;
+      }
+    }
+  }
+  if (const JsonValue* pos = doc.find("positional")) {
+    if (!pos->is_array()) {
+      error = "'positional' must be an array of strings";
+      return false;
+    }
+    for (const JsonValue& entry : pos->array) {
+      if (!entry.is_string()) {
+        error = "'positional' entries must be strings";
+        return false;
+      }
+      req.positional.push_back(entry.string);
+    }
+  }
+  for (const auto& [key, value] : doc.object) {
+    (void)value;
+    if (key != "id" && key != "command" && key != "args" &&
+        key != "positional") {
+      error = "unknown request field '" + key + "'";
+      return false;
+    }
+  }
+  out = std::move(req);
+  return true;
+}
+
+std::string ok_response(const std::string& id, std::string_view report_json) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.kv("id", id);
+  w.kv("status", "ok");
+  w.key("report");
+  w.raw(report_json);
+  w.end_object();
+  return os.str();
+}
+
+std::string error_response(const std::string& id, std::string_view code,
+                           std::string_view message) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.kv("id", id);
+  w.kv("status", code == kErrOverloaded ? "overloaded" : "error");
+  w.key("error");
+  w.begin_object();
+  w.kv("code", code);
+  w.kv("message", message);
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+std::string overloaded_response(const std::string& id, std::size_t active,
+                                std::size_t queued) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.kv("id", id);
+  w.kv("status", "overloaded");
+  w.key("error");
+  w.begin_object();
+  w.kv("code", kErrOverloaded);
+  w.kv("message", "admission queue full; retry with backoff");
+  w.kv("active", static_cast<std::uint64_t>(active));
+  w.kv("queued", static_cast<std::uint64_t>(queued));
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace satdiag::serve

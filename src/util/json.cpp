@@ -1,7 +1,11 @@
 #include "util/json.hpp"
 
+#include <cassert>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace satdiag {
 
@@ -66,6 +70,11 @@ void JsonWriter::before_value() {
 }
 
 void JsonWriter::key(std::string_view k) {
+  // A key outside any object reads stack_.back() of an empty vector — UB.
+  // Emission bugs must fail loudly in Debug instead of corrupting output.
+  assert(!stack_.empty() && stack_.back().scope == Scope::kObject &&
+         "JsonWriter::key() requires an open object scope");
+  if (stack_.empty()) return;
   Level& level = stack_.back();
   if (level.count > 0) out_ << ',';
   ++level.count;
@@ -117,8 +126,15 @@ void JsonWriter::value(double d) {
     out_ << "null";
     return;
   }
+  // Shortest form that round-trips: %.9g loses up to 8 low bits (report and
+  // metrics consumers saw drifted wall-clock values), %.17g always round-
+  // trips but prints noise digits like 0.10000000000000001. Try increasing
+  // precisions and keep the first whose strtod readback is bit-exact.
   char buf[32];
-  std::snprintf(buf, sizeof buf, "%.9g", d);
+  for (int precision : {9, 15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
   out_ << buf;
 }
 
@@ -140,6 +156,323 @@ void JsonWriter::null() {
 void JsonWriter::raw(std::string_view json_fragment) {
   before_value();
   out_ << json_fragment;
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded view. Every failure records the
+/// byte offset so serve can echo "offset 17: expected ':'" to the client.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    if (!parse_value(out, 0)) {
+      error = error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = fail_msg("trailing characters after the JSON document");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool set_error(const std::string& what) {
+    if (error_.empty()) error_ = fail_msg(what);
+    return false;
+  }
+  std::string fail_msg(const std::string& what) const {
+    return "offset " + std::to_string(pos_) + ": " + what;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, std::size_t depth) {
+    // depth is 0 at the document root, so kJsonMaxDepth nested containers
+    // parse (depths 0..kJsonMaxDepth-1) and one more is an error.
+    if (depth >= kJsonMaxDepth) {
+      return set_error("nesting deeper than " + std::to_string(kJsonMaxDepth));
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) return set_error("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        if (!consume_literal("null")) return set_error("invalid literal");
+        out = JsonValue{};
+        return true;
+      case 't':
+        if (!consume_literal("true")) return set_error("invalid literal");
+        out = JsonValue{};
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return true;
+      case 'f':
+        if (!consume_literal("false")) return set_error("invalid literal");
+        out = JsonValue{};
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return true;
+      case '"':
+        out = JsonValue{};
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_array(JsonValue& out, std::size_t depth) {
+    ++pos_;  // '['
+    out = JsonValue{};
+    out.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue element;
+      if (!parse_value(element, depth + 1)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return set_error("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return set_error("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(JsonValue& out, std::size_t depth) {
+    ++pos_;  // '{'
+    out = JsonValue{};
+    out.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return set_error("expected a string object key");
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return set_error("expected ':' after object key");
+      }
+      ++pos_;
+      JsonValue member;
+      if (!parse_value(member, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (pos_ >= text_.size()) return set_error("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return set_error("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return set_error("unescaped control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      if (++pos_ >= text_.size()) return set_error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          if (!parse_hex4(code)) return false;
+          // Surrogate pair => one astral code point.
+          if (code >= 0xd800 && code <= 0xdbff) {
+            if (text_.substr(pos_, 2) != "\\u") {
+              return set_error("unpaired surrogate");
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low < 0xdc00 || low > 0xdfff) {
+              return set_error("invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            return set_error("unpaired surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default:
+          --pos_;
+          return set_error("invalid escape character");
+      }
+    }
+    return set_error("unterminated string");
+  }
+
+  bool parse_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return set_error("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      unsigned digit;
+      if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a') + 10;
+      else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A') + 10;
+      else return set_error("invalid \\u escape digit");
+      out = out * 16 + digit;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const std::size_t digits_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == digits_start) {
+      pos_ = start;
+      return set_error("expected a value");
+    }
+    // JSON forbids leading zeros ("007").
+    if (pos_ - digits_start > 1 && text_[digits_start] == '0') {
+      pos_ = start;
+      return set_error("leading zeros are not allowed");
+    }
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      const std::size_t frac_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == frac_start) return set_error("expected fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const std::size_t exp_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == exp_start) return set_error("expected exponent digits");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out = JsonValue{};
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::strtod(token.c_str(), nullptr);
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        out.is_integer = true;
+        out.integer = v;
+      }
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool json_parse(std::string_view text, JsonValue& out, std::string& error) {
+  JsonParser parser(text);
+  JsonValue value;
+  if (!parser.parse(value, error)) return false;
+  out = std::move(value);
+  return true;
 }
 
 }  // namespace satdiag

@@ -1,17 +1,26 @@
 // Minimal streaming JSON writer for the observability layer (metrics
-// snapshots, Chrome trace_event files, run reports).
+// snapshots, Chrome trace_event files, run reports), plus the reader the
+// serve protocol parses request frames with.
 //
-// No DOM, no allocation beyond the nesting stack: callers emit begin/end
-// scopes and key/value pairs in order and the writer inserts commas,
-// indentation, and string escaping. Output is deterministic — pairs appear
-// exactly in emission order — which is what lets the CLI report be golden-
-// file tested with normalized numeric values.
+// The writer has no DOM and no allocation beyond the nesting stack: callers
+// emit begin/end scopes and key/value pairs in order and the writer inserts
+// commas, indentation, and string escaping. Output is deterministic — pairs
+// appear exactly in emission order — which is what lets the CLI report be
+// golden-file tested with normalized numeric values. Doubles are emitted in
+// the shortest form that round-trips through strtod bit-exactly.
+//
+// The reader (json_parse) is a strict RFC 8259 recursive-descent parser
+// into a small JsonValue DOM. It is request-path hardened: bounded nesting
+// depth, no trailing garbage, exact error positions — malformed network
+// input must yield a structured error, never UB or a partial value.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace satdiag {
@@ -66,5 +75,45 @@ class JsonWriter {
   std::vector<Level> stack_;
   bool pending_key_ = false;
 };
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Parsed JSON value. Object member order is preserved (insertion order),
+/// matching the writer's determinism contract.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  /// Every number as a double, plus the exact integer when the token was
+  /// integral and fits an int64 (protocol consumers want exact counts).
+  double number = 0.0;
+  bool is_integer = false;
+  std::int64_t integer = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// First member with this key, or nullptr (objects; null otherwise).
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Maximum array/object nesting json_parse accepts; deeper input is a parse
+/// error, not a stack overflow (the serve transport feeds untrusted bytes).
+inline constexpr std::size_t kJsonMaxDepth = 64;
+
+/// Strict RFC 8259 parse of exactly one JSON document (trailing whitespace
+/// allowed, trailing garbage is an error). Returns false and fills `error`
+/// with a byte offset + reason on malformed input; `out` is then unchanged.
+bool json_parse(std::string_view text, JsonValue& out, std::string& error);
 
 }  // namespace satdiag

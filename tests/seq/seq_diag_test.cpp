@@ -119,6 +119,50 @@ TEST(SeqDiagTest, WorksOnGeneratedSequentialCircuit) {
   EXPECT_TRUE(found);
 }
 
+TEST(SeqDiagTest, ConsistentTestsReportDegenerateCaseNotEmptySolution) {
+  // PR 10 regression: a test-set the unmodified circuit already satisfies
+  // has the zero-corrections model; the old code pushed an empty
+  // "correction" and kept complete == true, fabricating a solution no
+  // caller could realize. Build such a test-set by observing the GOLDEN
+  // circuit's own outputs and diagnose the golden circuit with it.
+  const Netlist golden = builtin_s27();
+  Rng rng(7);
+  SeqTest test;
+  const std::size_t length = 5;
+  test.input_sequence.resize(length);
+  for (auto& frame : test.input_sequence) {
+    frame.resize(golden.inputs().size());
+    for (std::size_t i = 0; i < frame.size(); ++i) frame[i] = rng.next_bool();
+  }
+  test.initial_state.assign(golden.dffs().size(), false);
+  test.cycle = length - 1;
+  test.output_index = 0;
+  const auto outputs =
+      simulate_sequence(golden, test.input_sequence, test.initial_state);
+  test.correct_value = outputs[test.cycle][test.output_index];
+
+  SeqDiagnoseOptions options;
+  options.k = 2;
+  const SeqDiagnoseResult result =
+      seq_sat_diagnose(golden, {test}, options);
+  EXPECT_TRUE(result.tests_consistent);
+  EXPECT_TRUE(result.solutions.empty());
+  EXPECT_TRUE(result.complete);
+  for (const auto& solution : result.solutions) {
+    EXPECT_FALSE(solution.empty()) << "empty correction fabricated";
+  }
+}
+
+TEST(SeqDiagTest, FailingTestsDoNotReportConsistent) {
+  const SeqScenario s = make_scenario(builtin_s27(), 2, 4, 6);
+  ASSERT_FALSE(s.tests.empty());
+  SeqDiagnoseOptions options;
+  options.k = 1;
+  const SeqDiagnoseResult result = seq_sat_diagnose(s.faulty, s.tests, options);
+  EXPECT_FALSE(result.tests_consistent);
+  EXPECT_FALSE(result.solutions.empty());
+}
+
 TEST(SeqDiagTest, InstanceSizeGrowsWithSequenceLength) {
   const SeqScenario s = make_scenario(builtin_s27(), 6, 1, 4);
   if (s.tests.empty()) GTEST_SKIP();

@@ -1,0 +1,103 @@
+// AdmissionController contract: bounded concurrency, bounded queue,
+// deadline-aware queue waits, shutdown wake. Runs under the TSan CI job.
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace satdiag::serve {
+namespace {
+
+using Admit = AdmissionController::Admit;
+
+TEST(AdmissionTest, AdmitsUpToMaxInflight) {
+  AdmissionController ctl(AdmissionConfig{2, 0});
+  EXPECT_EQ(ctl.admit(Deadline()), Admit::kAdmitted);
+  EXPECT_EQ(ctl.admit(Deadline()), Admit::kAdmitted);
+  EXPECT_EQ(ctl.active(), 2u);
+  // Slots full, queue depth 0: immediate load-shed.
+  EXPECT_EQ(ctl.admit(Deadline()), Admit::kOverloaded);
+  ctl.release();
+  EXPECT_EQ(ctl.admit(Deadline()), Admit::kAdmitted);
+}
+
+TEST(AdmissionTest, ZeroMaxInflightIsClampedToOne) {
+  AdmissionController ctl(AdmissionConfig{0, 0});
+  EXPECT_EQ(ctl.admit(Deadline()), Admit::kAdmitted);
+  EXPECT_EQ(ctl.admit(Deadline()), Admit::kOverloaded);
+}
+
+TEST(AdmissionTest, QueuedRequestGetsSlotOnRelease) {
+  AdmissionController ctl(AdmissionConfig{1, 1});
+  ASSERT_EQ(ctl.admit(Deadline()), Admit::kAdmitted);
+  std::atomic<int> result{-1};
+  std::thread waiter([&] {
+    result.store(static_cast<int>(ctl.admit(Deadline())));
+  });
+  while (ctl.queued() == 0) std::this_thread::yield();
+  ctl.release();
+  waiter.join();
+  EXPECT_EQ(result.load(), static_cast<int>(Admit::kAdmitted));
+  EXPECT_EQ(ctl.active(), 1u);
+  EXPECT_EQ(ctl.queued(), 0u);
+}
+
+TEST(AdmissionTest, DeadlineExpiresWhileQueued) {
+  AdmissionController ctl(AdmissionConfig{1, 4});
+  ASSERT_EQ(ctl.admit(Deadline()), Admit::kAdmitted);
+  // Never released: the queued request must come back expired, not hang.
+  EXPECT_EQ(ctl.admit(Deadline::after_seconds(0.05)), Admit::kExpired);
+  EXPECT_EQ(ctl.queued(), 0u);
+  ctl.release();
+}
+
+TEST(AdmissionTest, ShutdownWakesQueuedWaiters) {
+  AdmissionController ctl(AdmissionConfig{1, 8});
+  ASSERT_EQ(ctl.admit(Deadline()), Admit::kAdmitted);
+  std::vector<std::thread> waiters;
+  std::atomic<int> shutdown_count{0};
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      if (ctl.admit(Deadline()) == Admit::kShutdown) ++shutdown_count;
+    });
+  }
+  while (ctl.queued() < 4) std::this_thread::yield();
+  ctl.shutdown();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(shutdown_count.load(), 4);
+  EXPECT_EQ(ctl.admit(Deadline()), Admit::kShutdown);
+}
+
+TEST(AdmissionTest, ConcurrentAdmitsNeverExceedLimit) {
+  constexpr std::size_t kInflight = 3;
+  AdmissionController ctl(AdmissionConfig{kInflight, 64});
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 16; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < 20; ++j) {
+        if (ctl.admit(Deadline::after_seconds(5.0)) != Admit::kAdmitted) {
+          continue;
+        }
+        const int now = ++active;
+        int seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        ++admitted;
+        --active;
+        ctl.release();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(admitted.load(), 0);
+  EXPECT_LE(peak.load(), static_cast<int>(kInflight));
+}
+
+}  // namespace
+}  // namespace satdiag::serve

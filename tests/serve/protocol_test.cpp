@@ -1,0 +1,116 @@
+// Framing-layer tests for the serve wire protocol: request parsing,
+// scalar-arg coercion, structured rejection of malformed frames, and the
+// response envelope builders.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+
+namespace satdiag::serve {
+namespace {
+
+Request parse_ok(const std::string& frame) {
+  Request req;
+  std::string error;
+  EXPECT_TRUE(parse_request(frame, req, error)) << error;
+  return req;
+}
+
+std::string parse_fail(const std::string& frame) {
+  Request req;
+  std::string error;
+  EXPECT_FALSE(parse_request(frame, req, error)) << frame;
+  EXPECT_FALSE(error.empty());
+  return error;
+}
+
+TEST(ProtocolTest, ParsesFullRequest) {
+  const Request req = parse_ok(
+      R"({"id":"r1","command":"diagnose","positional":["f.bench"],)"
+      R"("args":{"tests":"t.txt","k":2,"limit":1.5,"stats":true}})");
+  EXPECT_EQ(req.id, "r1");
+  EXPECT_EQ(req.command, "diagnose");
+  ASSERT_EQ(req.positional.size(), 1u);
+  EXPECT_EQ(req.positional[0], "f.bench");
+  EXPECT_EQ(req.args.at("tests"), "t.txt");
+  EXPECT_EQ(req.args.at("k"), "2");
+  EXPECT_EQ(req.args.at("limit"), "1.5");
+  EXPECT_EQ(req.args.at("stats"), "true");
+}
+
+TEST(ProtocolTest, NumericAndOmittedIdAccepted) {
+  EXPECT_EQ(parse_ok(R"({"id":7,"command":"ping"})").id, "7");
+  EXPECT_EQ(parse_ok(R"({"command":"ping"})").id, "");
+}
+
+TEST(ProtocolTest, DoubleArgsSurviveCoercionExactly) {
+  // Shortest-round-trip double formatting is what keeps a JSON 0.1 equal
+  // to the CLI's strtod("0.1").
+  const Request req = parse_ok(R"({"command":"gen","args":{"scale":0.1}})");
+  EXPECT_EQ(req.args.at("scale"), "0.1");
+}
+
+TEST(ProtocolTest, RejectsMalformedFrames) {
+  parse_fail("not json at all");
+  parse_fail("[1,2,3]");                       // not an object
+  parse_fail(R"({"args":{}})");                // missing command
+  parse_fail(R"({"command":""})");             // empty command
+  parse_fail(R"({"command":42})");             // non-string command
+  parse_fail(R"({"command":"x","args":[1]})");  // args not an object
+  parse_fail(R"({"command":"x","positional":"f"})");
+  parse_fail(R"({"command":"x","positional":[1]})");
+  parse_fail(R"({"command":"x","bogus":1})");  // unknown top-level field
+}
+
+TEST(ProtocolTest, RejectsNonScalarAndDuplicateArgs) {
+  parse_fail(R"({"command":"x","args":{"k":[1]}})");
+  parse_fail(R"({"command":"x","args":{"k":{"a":1}}})");
+  parse_fail(R"({"command":"x","args":{"k":null}})");
+  parse_fail(R"({"command":"x","args":{"k":1,"k":2}})");
+  // Names are the bare CLI spelling; "--k" would double-prefix.
+  const std::string error = parse_fail(R"({"command":"x","args":{"--k":1}})");
+  EXPECT_NE(error.find("--k"), std::string::npos);
+  parse_fail(R"({"command":"x","args":{"":1}})");
+}
+
+TEST(ProtocolTest, ResponsesAreOneLineParseableJson) {
+  for (const std::string& line :
+       {ok_response("r1", R"({"x":1})"),
+        error_response("r2", kErrBadRequest, "broken \"quote\""),
+        overloaded_response("r3", 4, 16)}) {
+    EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(json_parse(line, v, error)) << line << ": " << error;
+    ASSERT_NE(v.find("status"), nullptr);
+  }
+}
+
+TEST(ProtocolTest, OkResponseSplicesReport) {
+  const JsonValue v = [] {
+    JsonValue parsed;
+    std::string error;
+    EXPECT_TRUE(
+        json_parse(ok_response("a", R"({"x":1})"), parsed, error));
+    return parsed;
+  }();
+  EXPECT_EQ(v.find("id")->string, "a");
+  EXPECT_EQ(v.find("status")->string, "ok");
+  EXPECT_EQ(v.find("report")->find("x")->integer, 1);
+}
+
+TEST(ProtocolTest, OverloadedResponseCarriesAdmissionState) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(json_parse(overloaded_response("r", 2, 5), v, error));
+  EXPECT_EQ(v.find("status")->string, "overloaded");
+  const JsonValue* err = v.find("error");
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->find("code")->string, kErrOverloaded);
+  EXPECT_EQ(err->find("active")->integer, 2);
+  EXPECT_EQ(err->find("queued")->integer, 5);
+}
+
+}  // namespace
+}  // namespace satdiag::serve

@@ -65,5 +65,87 @@ TEST(CliTest, UnusedReportsUnqueriedFlags) {
   EXPECT_EQ(unused[0], "typo");
 }
 
+// --- strict value parsing (PR 10 regression: "--k 2x" used to parse as 2,
+// "--limit abc" as 0.0) --------------------------------------------------
+
+TEST(CliTest, StrictIntRejectsTrailingGarbage) {
+  auto cli = parse({"--k", "2x"});
+  EXPECT_THROW(cli.get_int("k", 0), CliUsageError);
+}
+
+TEST(CliTest, StrictIntRejectsNonNumeric) {
+  auto cli = parse({"--k", "abc"});
+  EXPECT_THROW(cli.get_int("k", 0), CliUsageError);
+}
+
+TEST(CliTest, StrictIntRejectsFloatSpelling) {
+  auto cli = parse({"--k", "2.5"});
+  EXPECT_THROW(cli.get_int("k", 0), CliUsageError);
+}
+
+TEST(CliTest, StrictIntRejectsEmptyAndWhitespace) {
+  auto cli = parse({"--a=", "--b", " 2"});
+  EXPECT_THROW(cli.get_int("a", 0), CliUsageError);
+  EXPECT_THROW(cli.get_int("b", 0), CliUsageError);
+}
+
+TEST(CliTest, StrictIntRejectsOverflow) {
+  auto cli = parse({"--k", "99999999999999999999999"});
+  EXPECT_THROW(cli.get_int("k", 0), CliUsageError);
+}
+
+TEST(CliTest, StrictIntAcceptsSigns) {
+  auto cli = parse({"--a", "-7", "--b", "+7"});
+  EXPECT_EQ(cli.get_int("a", 0), -7);
+  EXPECT_EQ(cli.get_int("b", 0), 7);
+}
+
+TEST(CliTest, StrictIntErrorNamesFlagAndValue) {
+  auto cli = parse({"--k", "2x"});
+  try {
+    cli.get_int("k", 0);
+    FAIL() << "expected CliUsageError";
+  } catch (const CliUsageError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--k"), std::string::npos) << what;
+    EXPECT_NE(what.find("2x"), std::string::npos) << what;
+  }
+}
+
+TEST(CliTest, StrictDoubleRejectsTrailingGarbage) {
+  auto cli = parse({"--limit", "1.5s"});
+  EXPECT_THROW(cli.get_double("limit", 0.0), CliUsageError);
+}
+
+TEST(CliTest, StrictDoubleRejectsNonNumeric) {
+  auto cli = parse({"--limit", "abc"});
+  EXPECT_THROW(cli.get_double("limit", 0.0), CliUsageError);
+}
+
+TEST(CliTest, StrictDoubleRejectsInfNanAndHex) {
+  for (const char* bad : {"inf", "nan", "INF", "0x10", "1e999"}) {
+    auto cli = parse({"--limit", bad});
+    EXPECT_THROW(cli.get_double("limit", 0.0), CliUsageError) << bad;
+  }
+}
+
+TEST(CliTest, StrictDoubleAcceptsScientificAndSigns) {
+  auto cli = parse({"--a", "2.5e-3", "--b", "-0.25", "--c", ".5"});
+  EXPECT_DOUBLE_EQ(cli.get_double("a", 0.0), 2.5e-3);
+  EXPECT_DOUBLE_EQ(cli.get_double("b", 0.0), -0.25);
+  EXPECT_DOUBLE_EQ(cli.get_double("c", 0.0), 0.5);
+}
+
+TEST(CliTest, ParseRejectsEmptyFlagName) {
+  for (auto argv_tail : {"--", "--=v"}) {
+    std::vector<const char*> argv{"prog", argv_tail};
+    CliArgs cli;
+    std::string error;
+    EXPECT_FALSE(
+        cli.parse(static_cast<int>(argv.size()), argv.data(), error));
+    EXPECT_FALSE(error.empty());
+  }
+}
+
 }  // namespace
 }  // namespace satdiag

@@ -1,10 +1,15 @@
 // Unit tests for the streaming JSON writer behind the observability
-// artifacts: escaping, nesting/comma placement, compact vs indented output,
-// and raw-fragment splicing (how the CLI composes the run report).
+// artifacts — escaping, nesting/comma placement, compact vs indented
+// output, raw-fragment splicing (how the CLI composes the run report) —
+// and for the strict reader the serve protocol parses request frames with.
 #include "util/json.hpp"
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <random>
 #include <sstream>
 
 namespace satdiag {
@@ -97,6 +102,188 @@ TEST(JsonWriterTest, EscapesKeys) {
   w.kv("we\"ird", 1);
   w.end_object();
   EXPECT_EQ(os.str(), R"({"we\"ird":1})");
+}
+
+// --- double round-trip (PR 10 regression: %.9g lost bits, e.g. 0.1 + 0.2
+// printed as 0.3 and re-parsed as a different double) ----------------------
+
+std::string write_double(double d) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.value(d);
+  return os.str();
+}
+
+TEST(JsonWriterTest, DoubleRoundTripsKnownHardCases) {
+  for (double d : {0.1, 0.1 + 0.2, 1.0 / 3.0, 1e-300, 1.7976931348623157e308,
+                   5e-324, 2.2250738585072014e-308, 123456789.123456789,
+                   -0.0, 0.0, 1e22}) {
+    const std::string text = write_double(d);
+    const double back = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(back, d) << text;
+    EXPECT_EQ(std::signbit(back), std::signbit(d)) << text;
+  }
+}
+
+TEST(JsonWriterTest, DoubleRoundTripsRandomBitPatterns) {
+  // Property test over random finite doubles: writer output must re-parse
+  // to the identical value. Fixed seed keeps the suite deterministic.
+  std::mt19937_64 rng(0x5eedu);
+  int checked = 0;
+  while (checked < 2000) {
+    const double d = std::bit_cast<double>(rng());
+    if (!std::isfinite(d)) continue;
+    ++checked;
+    const std::string text = write_double(d);
+    const double back = std::strtod(text.c_str(), nullptr);
+    ASSERT_EQ(back, d) << text;
+  }
+}
+
+TEST(JsonWriterTest, DoubleStillPrefersShortForms) {
+  // The fix must not inflate simple values to 17 digits.
+  EXPECT_EQ(write_double(0.5), "0.5");
+  EXPECT_EQ(write_double(2.0), "2");
+  EXPECT_EQ(write_double(0.25), "0.25");
+}
+
+#ifndef NDEBUG
+using JsonWriterDeathTest = ::testing::Test;
+
+TEST(JsonWriterDeathTest, KeyOutsideObjectAsserts) {
+  // PR 10 regression: key() with an empty scope stack was UB (unchecked
+  // stack_.back()); Debug builds must trap it loudly.
+  // GTEST_FLAG() rather than GTEST_FLAG_SET(): the latter is missing from
+  // older GoogleTest releases and this spelling works on both.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        std::ostringstream os;
+        JsonWriter w(os, 0);
+        w.key("orphan");
+      },
+      "key");
+}
+#endif
+
+// --- reader ---------------------------------------------------------------
+
+JsonValue parse_ok(std::string_view text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(json_parse(text, v, error)) << error;
+  return v;
+}
+
+std::string parse_fail(std::string_view text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(json_parse(text, v, error)) << text;
+  EXPECT_FALSE(error.empty());
+  return error;
+}
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok("true").boolean);
+  EXPECT_FALSE(parse_ok("false").boolean);
+  const JsonValue n = parse_ok("-42");
+  EXPECT_TRUE(n.is_number());
+  EXPECT_TRUE(n.is_integer);
+  EXPECT_EQ(n.integer, -42);
+  const JsonValue d = parse_ok("2.5e-1");
+  EXPECT_TRUE(d.is_number());
+  EXPECT_FALSE(d.is_integer);
+  EXPECT_DOUBLE_EQ(d.number, 0.25);
+  EXPECT_EQ(parse_ok(R"("hi")").string, "hi");
+}
+
+TEST(JsonParseTest, ParsesNestedStructure) {
+  const JsonValue v = parse_ok(
+      R"({"command":"diagnose","args":{"k":2},"positional":["a.bench"]})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_NE(v.find("command"), nullptr);
+  EXPECT_EQ(v.find("command")->string, "diagnose");
+  const JsonValue* args = v.find("args");
+  ASSERT_NE(args, nullptr);
+  ASSERT_NE(args->find("k"), nullptr);
+  EXPECT_EQ(args->find("k")->integer, 2);
+  const JsonValue* pos = v.find("positional");
+  ASSERT_NE(pos, nullptr);
+  ASSERT_EQ(pos->array.size(), 1u);
+  EXPECT_EQ(pos->array[0].string, "a.bench");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, DecodesEscapesAndSurrogatePairs) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\n\t")").string, "a\"b\\c\n\t");
+  EXPECT_EQ(parse_ok(R"("\u0041")").string, "A");
+  // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parse_ok(R"("\uD83D\uDE00")").string, "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, RoundTripsWriterEscapedStrings) {
+  const std::string nasty = "quote\" backslash\\ newline\n nul";
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.value(nasty);
+  EXPECT_EQ(parse_ok(os.str()).string, nasty);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  parse_fail("");
+  parse_fail("{");
+  parse_fail("[1,]");
+  parse_fail("{\"a\":}");
+  parse_fail("{\"a\" 1}");
+  parse_fail("'single'");
+  parse_fail("tru");
+  parse_fail("01");     // leading zero
+  parse_fail("1.");     // digitless fraction
+  parse_fail("+1");     // leading plus
+  parse_fail("\"unterminated");
+  parse_fail("\"bad\\q\"");
+  parse_fail("\"\\uD83D\"");  // lone high surrogate
+}
+
+TEST(JsonParseTest, RejectsTrailingGarbage) {
+  parse_fail("{} {}");
+  parse_fail("1 2");
+  EXPECT_TRUE(parse_ok("{}  \n ").is_object());  // trailing whitespace ok
+}
+
+TEST(JsonParseTest, ErrorsCarryByteOffsets) {
+  const std::string error = parse_fail(R"({"a": bad})");
+  EXPECT_NE(error.find("offset"), std::string::npos) << error;
+}
+
+TEST(JsonParseTest, EnforcesDepthCap) {
+  std::string deep;
+  for (std::size_t i = 0; i < kJsonMaxDepth + 1; ++i) deep += '[';
+  for (std::size_t i = 0; i < kJsonMaxDepth + 1; ++i) deep += ']';
+  parse_fail(deep);
+  std::string ok_depth;
+  for (std::size_t i = 0; i < kJsonMaxDepth; ++i) ok_depth += '[';
+  for (std::size_t i = 0; i < kJsonMaxDepth; ++i) ok_depth += ']';
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(json_parse(ok_depth, v, error)) << error;
+}
+
+TEST(JsonParseTest, LeavesOutputUntouchedOnFailure) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::kString;
+  v.string = "sentinel";
+  std::string error;
+  EXPECT_FALSE(json_parse("{bad}", v, error));
+  EXPECT_EQ(v.string, "sentinel");
+}
+
+TEST(JsonParseTest, IntegerOverflowFallsBackToDouble) {
+  const JsonValue v = parse_ok("99999999999999999999999");
+  EXPECT_TRUE(v.is_number());
+  EXPECT_FALSE(v.is_integer);
+  EXPECT_GT(v.number, 9e22);
 }
 
 }  // namespace

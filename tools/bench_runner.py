@@ -38,7 +38,9 @@ FIXTURES_DIR = os.path.join(REPO_ROOT, "tests", "cli", "golden")
 # name -> (driver binary, argv). Seeds/scales are pinned: the workload must
 # be identical across runs for the wall-clock comparison to mean anything.
 # A driver containing "/" is resolved relative to the build dir root
-# (e.g. "tools/satdiag_cli"); a bare name comes from build/bench/.
+# (e.g. "tools/satdiag_cli"); a bare name comes from build/bench/; a .py
+# driver is resolved relative to the repo root and run under the current
+# python3, with {BUILD} in its argv expanding to the build dir.
 BENCHES = {
     # Solver-bound: BSAT/COV/BSIM across the Table 2 grid at reduced scale.
     # --threads 1 pins the serial baseline row (no-regression guard for the
@@ -141,15 +143,28 @@ BENCHES = {
          "--tests", "4,6", "--scale", "0.5", "--seed", "3", "--limit", "60",
          "--csv", "--report-json", "{REPORT}"],
     ),
+    # Daemon-path: concurrent clients against `satdiag serve` over localhost
+    # TCP (warm artifact cache, bounded admission). The loadgen's JSON
+    # summary line (throughput_rps, latency_ms percentiles, cache_hits_delta)
+    # lands in the entry's self_reported field; any correctness failure
+    # (shed request, divergent corrections, unclean shutdown) exits non-zero.
+    "serve_throughput": (
+        "tools/serve_loadgen.py",
+        ["--cli", "{BUILD}/tools/satdiag_cli", "--clients", "8",
+         "--requests", "12", "--threads", "2", "--queue-depth", "64",
+         "--seed", "7", "--expect-no-shed"],
+    ),
 }
 
 
 def run_bench(build_dir, name, spec):
     driver = spec[0]
-    if "/" in driver:
-        binary = os.path.join(build_dir, *driver.split("/"))
+    if driver.endswith(".py"):
+        prefix = [sys.executable, os.path.join(REPO_ROOT, *driver.split("/"))]
+    elif "/" in driver:
+        prefix = [os.path.join(build_dir, *driver.split("/"))]
     else:
-        binary = os.path.join(build_dir, "bench", driver)
+        prefix = [os.path.join(build_dir, "bench", driver)]
     report_path = None
     argv = []
     for arg in spec[1]:
@@ -159,8 +174,9 @@ def run_bench(build_dir, name, spec):
                                                    prefix="satdiag_report_")
                 os.close(fd)
             arg = arg.replace("{REPORT}", report_path)
+        arg = arg.replace("{BUILD}", build_dir)
         argv.append(arg.replace("{FIXTURES}", FIXTURES_DIR))
-    cmd = [binary] + argv
+    cmd = prefix + argv
     print(f"[bench_runner] {name}: {' '.join(cmd)}", file=sys.stderr)
     start = time.monotonic()
     proc = subprocess.run(cmd, capture_output=True, text=True)

@@ -18,6 +18,13 @@
 //             (Table-2-style grid over circuits x test counts; --threads
 //             runs whole cells instance-parallel.)
 //   repair    faulty.bench --tests tests.txt --gates g1,g2,...
+//   serve     [--port P] [--threads N] [--max-inflight N] [--queue-depth N]
+//             [--max-request-seconds S]
+//             (long-lived daemon: newline-delimited JSON over TCP whose
+//             request bodies are the gen/diagnose/experiment option sets;
+//             see src/serve/protocol.hpp and README "Serving". Prints
+//             "serving on HOST:PORT" once the socket is bound; port 0
+//             binds an ephemeral port.)
 //
 // Global flags (every subcommand):
 //   --trace-out FILE    write a Chrome trace_event JSON (chrome://tracing,
@@ -33,6 +40,8 @@
 // The bench format is ISCAS89 .bench; the test format is documented in
 // src/report/testfile.hpp.
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -56,6 +65,7 @@
 #include "obs/trace.hpp"
 #include "repair/realize.hpp"
 #include "report/experiment.hpp"
+#include "serve/server.hpp"
 #include "report/format.hpp"
 #include "report/testfile.hpp"
 #include "util/cli.hpp"
@@ -77,7 +87,8 @@ int fail(const std::string& message) {
 void print_usage(std::FILE* out) {
   std::fprintf(
       out,
-      "usage: satdiag <gen|stats|inject|diagnose|experiment|repair> ...\n"
+      "usage: satdiag <gen|stats|inject|diagnose|experiment|repair|serve> "
+      "...\n"
       "see tools/satdiag_cli.cpp header for details\n");
 }
 
@@ -480,6 +491,60 @@ int cmd_repair(const CliArgs& args) {
   return result.verified ? 0 : 1;
 }
 
+/// The serving Server, published for the signal handler; request_stop_
+/// from_signal is the only member a handler may touch (async-signal-safe).
+std::atomic<serve::Server*> g_server{nullptr};
+
+extern "C" void serve_signal_handler(int) {
+  if (serve::Server* server = g_server.load()) {
+    server->request_stop_from_signal();
+  }
+}
+
+int cmd_serve(const CliArgs& args) {
+  serve::ServeOptions options;
+  const std::int64_t port = args.get_int("port", 0);
+  if (port < 0 || port > 65535) {
+    return fail("--port must be in [0, 65535] (0 = ephemeral)");
+  }
+  options.port = static_cast<int>(port);
+  const std::int64_t threads = args.get_int("threads", 1);
+  if (threads < 1) {
+    return fail("--threads must be >= 1 (got " + std::to_string(threads) +
+                ")");
+  }
+  options.threads = static_cast<std::size_t>(threads);
+  const std::int64_t inflight = args.get_int("max-inflight", 0);
+  if (inflight < 0) {
+    return fail("--max-inflight must be >= 0 (0 = derive from --threads)");
+  }
+  options.max_inflight = static_cast<std::size_t>(inflight);
+  const std::int64_t depth = args.get_int("queue-depth", 16);
+  if (depth < 0) return fail("--queue-depth must be >= 0");
+  options.queue_depth = static_cast<std::size_t>(depth);
+  options.max_request_seconds = args.get_double("max-request-seconds", 300.0);
+  if (options.max_request_seconds <= 0) {
+    return fail("--max-request-seconds must be > 0");
+  }
+
+  serve::Server server(options);
+  std::string error;
+  if (!server.start(error)) return fail("serve: " + error);
+  // Scripts wait for this exact line to learn the (possibly ephemeral) port.
+  std::printf("serving on %s:%d\n", options.bind_address.c_str(),
+              server.port());
+  std::fflush(stdout);
+  g_server.store(&server);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  server.run();
+  g_server.store(nullptr);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  std::printf("serve: shut down\n");
+  return 0;
+}
+
 // Flags each subcommand understands; anything else is a typo and must not
 // silently fall back to defaults (cmd_* query flags lazily, interleaved with
 // work, so this is checked up front rather than via unused() afterwards).
@@ -493,6 +558,9 @@ const std::map<std::string, std::vector<std::string>> kKnownFlags = {
      {"circuits", "errors", "tests", "scale", "seed", "limit", "max-solutions",
       "threads", "csv"}},
     {"repair", {"tests", "gates"}},
+    {"serve",
+     {"port", "threads", "max-inflight", "queue-depth",
+      "max-request-seconds"}},
 };
 
 /// Runs the subcommand under the trace's enclosing "cli.run" span (closed
@@ -505,6 +573,7 @@ int dispatch(const std::string& command, const CliArgs& args) {
   if (command == "diagnose") return cmd_diagnose(args);
   if (command == "experiment") return cmd_experiment(args);
   if (command == "repair") return cmd_repair(args);
+  if (command == "serve") return cmd_serve(args);
   return -1;
 }
 
@@ -567,6 +636,16 @@ int main(int argc, char** argv) {
   }
 
   const std::string command = argv[1];
+  // Tracing would race the serve daemon's concurrent request threads with
+  // the end-of-run ring drain (obs/trace.hpp drain contract), and a daemon's
+  // end-of-run report is meaningless: per-request reports ride in every
+  // response, and the `metrics` request is the stats surface.
+  if (command == "serve" &&
+      (!trace_out.empty() || !report_json.empty() || !stats_json.empty())) {
+    return fail(
+        "serve does not support --trace-out/--report-json/--stats-json; "
+        "use the `metrics` request instead");
+  }
   if (const int rc = check_flags(command, args)) return rc;
   int rc = -1;
   Timer wall;

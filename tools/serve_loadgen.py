@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Concurrent-client load driver for the `satdiag serve` daemon.
+
+Starts the daemon on an ephemeral port, generates a pinned gen/inject
+fixture pair, then runs N client threads each holding one persistent
+connection and issuing M requests (a diagnose-heavy mix with a `gen`
+request and periodic `metrics` probes interleaved). Records per-request latency and prints one JSON
+summary line, which is how tools/bench_runner.py embeds the numbers in
+BENCH_*.json as the `serve_throughput` workload:
+
+    tools/serve_loadgen.py --cli build/tools/satdiag_cli \
+        --clients 8 --requests 12 --threads 2
+
+Correctness checks ride along with the measurement: every diagnose reply
+must be status "ok" with a correction set identical across all clients
+and requests (the daemon must not trade determinism for concurrency),
+the warm artifact-cache hit counter must be strictly increasing across
+the run, and the daemon must exit cleanly on a `shutdown` request.
+Requests shed with a structured `overloaded` reply count separately and
+fail the run only if --expect-no-shed is passed (the default clients/
+max-inflight ratio is chosen so the queue absorbs the burst).
+"""
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+
+class Client:
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=120)
+        self.file = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def rpc(self, request):
+        self.file.write(json.dumps(request) + "\n")
+        self.file.flush()
+        line = self.file.readline()
+        if not line:
+            raise RuntimeError("server closed connection mid-request")
+        return json.loads(line)
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def client_worker(port, requests, diagnose, gen, results, index):
+    stats = {"ok": 0, "overloaded": 0, "errors": [], "latencies_ms": [],
+             "corrections": None}
+    try:
+        client = Client(port)
+        for i in range(requests):
+            # Mixed stream: mostly diagnose (the expensive request), with a
+            # gen and periodic metrics probes interleaved per client.
+            if i == 1:
+                request = dict(gen)
+            elif i % 5 == 3:
+                request = {"command": "metrics"}
+            else:
+                request = dict(diagnose)
+            request["id"] = "c%d-r%d" % (index, i)
+            start = time.monotonic()
+            response = client.rpc(request)
+            stats["latencies_ms"].append((time.monotonic() - start) * 1e3)
+            status = response.get("status")
+            if status == "ok":
+                stats["ok"] += 1
+                if request["command"] != "diagnose":
+                    continue
+                corrections = tuple(sorted(
+                    tuple(c)
+                    for c in response["report"]["result"]["corrections"]))
+                if stats["corrections"] is None:
+                    stats["corrections"] = corrections
+                elif stats["corrections"] != corrections:
+                    stats["errors"].append("non-deterministic corrections")
+            elif status == "overloaded":
+                stats["overloaded"] += 1
+            else:
+                stats["errors"].append("unexpected response: %r" % response)
+        client.close()
+    except Exception as err:  # noqa: BLE001 - report, don't crash the run
+        stats["errors"].append(str(err))
+    results[index] = stats
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cli", required=True,
+                        help="path to the satdiag_cli binary")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=12,
+                        help="requests per client")
+    parser.add_argument("--threads", type=int, default=2,
+                        help="server worker threads (per-request --threads)")
+    parser.add_argument("--max-inflight", type=int, default=0,
+                        help="server admission limit (0 = derive)")
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--profile", default="s298_like")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--expect-no-shed", action="store_true",
+                        help="fail if any request is shed as overloaded")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="satdiag_loadgen_") as tmp:
+        bench = os.path.join(tmp, "c.bench")
+        faulty = os.path.join(tmp, "faulty.bench")
+        tests = os.path.join(tmp, "tests.txt")
+        subprocess.run([args.cli, "gen", "--profile", args.profile,
+                        "--seed", str(args.seed), "--out", bench],
+                       check=True, capture_output=True)
+        subprocess.run([args.cli, "inject", bench, "--errors", "1",
+                        "--seed", "3", "--out", faulty,
+                        "--tests-out", tests],
+                       check=True, capture_output=True)
+
+        server = subprocess.Popen(
+            [args.cli, "serve", "--port", "0",
+             "--threads", str(args.threads),
+             "--max-inflight", str(args.max_inflight),
+             "--queue-depth", str(args.queue_depth)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        banner = server.stdout.readline().strip()
+        prefix = "serving on 127.0.0.1:"
+        if not banner.startswith(prefix):
+            server.kill()
+            sys.exit("loadgen: unexpected serve banner: %r" % banner)
+        port = int(banner[len(prefix):])
+
+        diagnose = {"command": "diagnose", "positional": [faulty],
+                    "args": {"tests": tests, "approach": "bsat", "k": 2}}
+        gen = {"command": "gen",
+               "args": {"profile": args.profile, "seed": args.seed}}
+
+        control = Client(port)
+
+        def cache_hits():
+            response = control.rpc({"id": "m", "command": "metrics"})
+            return response["report"]["metrics"]["cache.hits"]
+
+        # Warm the artifact cache once so the measured run is the steady
+        # state a long-lived daemon actually operates in.
+        warmup = dict(diagnose)
+        warmup["id"] = "warmup"
+        if control.rpc(warmup).get("status") != "ok":
+            server.kill()
+            sys.exit("loadgen: warmup diagnose failed")
+        hits_before = cache_hits()
+
+        results = [None] * args.clients
+        threads = []
+        start = time.monotonic()
+        for i in range(args.clients):
+            t = threading.Thread(target=client_worker,
+                                 args=(port, args.requests, diagnose, gen,
+                                       results, i))
+            t.start()
+            threads.append(t)
+        for t in threads:
+            t.join()
+        wall = time.monotonic() - start
+
+        hits_after = cache_hits()
+        response = control.rpc({"id": "s", "command": "shutdown"})
+        control.close()
+        server.wait(timeout=30)
+
+        failures = []
+        if response.get("status") != "ok":
+            failures.append("shutdown request failed: %r" % response)
+        if server.returncode != 0:
+            failures.append("server exit code %d" % server.returncode)
+        if hits_after <= hits_before:
+            failures.append("cache.hits not increasing (%d -> %d)"
+                            % (hits_before, hits_after))
+
+        ok = sum(r["ok"] for r in results)
+        shed = sum(r["overloaded"] for r in results)
+        latencies = sorted(ms for r in results for ms in r["latencies_ms"])
+        correction_sets = {r["corrections"] for r in results
+                           if r["corrections"] is not None}
+        for i, r in enumerate(results):
+            for err in r["errors"]:
+                failures.append("client %d: %s" % (i, err))
+        if len(correction_sets) > 1:
+            failures.append("clients observed divergent correction sets")
+        if not ok:
+            failures.append("no request succeeded")
+        if args.expect_no_shed and shed:
+            failures.append("%d requests shed despite --expect-no-shed"
+                            % shed)
+
+        summary = {
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "server_threads": args.threads,
+            "ok": ok,
+            "overloaded": shed,
+            "wall_seconds": round(wall, 3),
+            "throughput_rps": round(ok / wall, 2) if wall > 0 else 0.0,
+            "latency_ms": {
+                "p50": round(percentile(latencies, 0.50), 2),
+                "p90": round(percentile(latencies, 0.90), 2),
+                "p99": round(percentile(latencies, 0.99), 2),
+            },
+            "cache_hits_delta": hits_after - hits_before,
+            "failures": failures,
+        }
+        print(json.dumps(summary))
+        if failures:
+            for failure in failures:
+                print("loadgen: FAIL: " + failure, file=sys.stderr)
+            return 1
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
